@@ -1,0 +1,280 @@
+// Command vgbench regenerates every table and figure of the paper's
+// evaluation from the simulation. Each experiment prints in roughly
+// the layout the paper uses, so results can be compared side by side
+// (see EXPERIMENTS.md for the recorded comparison).
+//
+// Usage:
+//
+//	vgbench -exp all
+//	vgbench -exp table2 -seed 7
+//	vgbench -exp fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"voiceguard/internal/corpus"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/netem"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/report"
+	"voiceguard/internal/scenario"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig4|fig6|fig7|fig8|fig9|fig10|corpus|all")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		days        = flag.Int("days", 7, "days per protection experiment")
+		invocations = flag.Int("invocations", 134, "invocations for the recognition study")
+		queries     = flag.Int("queries", 100, "invocations per delay study")
+		csvDir      = flag.String("csv", "", "also write figure data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "vgbench:", err)
+			os.Exit(1)
+		}
+	}
+	csvInto = *csvDir
+	if err := run(*exp, *seed, *days, *invocations, *queries); err != nil {
+		fmt.Fprintln(os.Stderr, "vgbench:", err)
+		os.Exit(1)
+	}
+}
+
+// csvInto, when non-empty, is the directory figure CSVs are written
+// into alongside the text output.
+var csvInto string
+
+// writeCSV writes one CSV artifact when -csv is set.
+func writeCSV(name string, write func(w *os.File) error) error {
+	if csvInto == "" {
+		return nil
+	}
+	f, err := os.Create(csvInto + "/" + name)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(exp string, seed int64, days, invocations, queries int) error {
+	experiments := map[string]func() error{
+		"table1": func() error { return table1(invocations, seed) },
+		"table2": func() error {
+			return rssiTable("Table II (two-floor house)", floorplan.House(), twoPhones(), days, seed)
+		},
+		"table3": func() error {
+			return rssiTable("Table III (two-bedroom apartment)", floorplan.Apartment(), twoPhones(), days, seed)
+		},
+		"table4":      func() error { return rssiTable("Table IV (office)", floorplan.Office(), watchOnly(), days, seed) },
+		"fig3":        func() error { return fig3(seed) },
+		"fig4":        fig4,
+		"fig6":        func() error { return fig67(seed, queries, true) },
+		"fig7":        func() error { return fig67(seed, queries, false) },
+		"fig8":        func() error { return maps("Fig. 8", "A", seed) },
+		"fig9":        func() error { return maps("Fig. 9", "B", seed) },
+		"fig10":       func() error { return fig10(seed) },
+		"corpus":      func() error { return corpusAnalysis(seed, queries) },
+		"attacks":     func() error { return attackStudy(seed) },
+		"robustness":  func() error { return robustness(seed) },
+		"sensitivity": func() error { return sensitivity(days, seed) },
+	}
+
+	if exp == "all" {
+		for _, name := range []string{
+			"table1", "table2", "table3", "table4",
+			"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "corpus",
+			"attacks", "robustness", "sensitivity",
+		} {
+			if err := experiments[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	fn, ok := experiments[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return fn()
+}
+
+func twoPhones() []scenario.DeviceSpec {
+	return []scenario.DeviceSpec{
+		{ID: "pixel5", Hardware: radio.Pixel5},
+		{ID: "pixel4a", Hardware: radio.Pixel4a},
+	}
+}
+
+func watchOnly() []scenario.DeviceSpec {
+	return []scenario.DeviceSpec{{ID: "watch4", Hardware: radio.GalaxyWatch4}}
+}
+
+func table1(invocations int, seed int64) error {
+	res := scenario.TrafficRecognition(invocations, seed)
+	fmt.Print(report.Table1(res))
+	return nil
+}
+
+// rssiTable runs the four columns of one of Tables II-IV.
+func rssiTable(title string, plan *floorplan.Plan, devices []scenario.DeviceSpec, days int, seed int64) error {
+	var columns []*scenario.Outcome
+	for _, speaker := range []scenario.SpeakerKind{scenario.Echo, scenario.GHM} {
+		for _, spot := range []string{"A", "B"} {
+			out, err := scenario.Run(scenario.Config{
+				Plan:    plan,
+				Spot:    spot,
+				Speaker: speaker,
+				Devices: devices,
+				Days:    days,
+				Seed:    seed,
+			})
+			if err != nil {
+				return err
+			}
+			columns = append(columns, out)
+		}
+	}
+	fmt.Print(report.RSSITable(title, columns))
+	return nil
+}
+
+func fig3(seed int64) error {
+	fmt.Print(report.Fig3(scenario.Fig3Trace(seed)))
+	return nil
+}
+
+func fig4() error {
+	cases, err := scenario.HoldReleaseDrop(1500 * time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Fig4(cases))
+	return nil
+}
+
+func fig67(seed int64, queries int, caseSplit bool) error {
+	echo, err := scenario.QueryDelayStudy(scenario.Echo, queries, seed)
+	if err != nil {
+		return err
+	}
+	ghm, err := scenario.QueryDelayStudy(scenario.GHM, queries, seed)
+	if err != nil {
+		return err
+	}
+	if caseSplit {
+		fmt.Print(report.Fig6([]*scenario.DelayStudy{echo, ghm}))
+		return nil
+	}
+	fmt.Print(report.Fig7([]*scenario.DelayStudy{echo, ghm}))
+	if err := writeCSV("fig7_echo.csv", func(w *os.File) error { return report.WriteDelayCSV(w, echo) }); err != nil {
+		return err
+	}
+	return writeCSV("fig7_ghm.csv", func(w *os.File) error { return report.WriteDelayCSV(w, ghm) })
+}
+
+// maps prints the RSSI map of each testbed for one deployment spot.
+func maps(figure, spot string, seed int64) error {
+	cases := []struct {
+		label string
+		plan  *floorplan.Plan
+		dev   radio.Device
+	}{
+		{label: "two-floor house (Pixel 5)", plan: floorplan.House(), dev: radio.Pixel5},
+		{label: "apartment (Pixel 5)", plan: floorplan.Apartment(), dev: radio.Pixel5},
+		{label: "office (Galaxy Watch4)", plan: floorplan.Office(), dev: radio.GalaxyWatch4},
+	}
+	for i, c := range cases {
+		entries, err := scenario.RSSIMap(c.plan, spot, c.dev, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		threshold, err := scenario.MapThreshold(c.plan, spot, c.dev, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Fig8(fmt.Sprintf("%s: %s, speaker spot %s", figure, c.label, spot), entries, threshold))
+		fmt.Println()
+		name := fmt.Sprintf("%s_%s_spot%s.csv", map[string]string{"Fig. 8": "fig8", "Fig. 9": "fig9"}[figure], c.plan.Name, spot)
+		if err := writeCSV(name, func(w *os.File) error { return report.WriteRSSIMapCSV(w, entries) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig10(seed int64) error {
+	studies, err := scenario.Fig10Cases(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Fig10(studies))
+	for i, study := range studies {
+		name := fmt.Sprintf("fig10_case%d.csv", i+1)
+		if err := writeCSV(name, func(w *os.File) error { return report.WriteTracePointsCSV(w, study) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func attackStudy(seed int64) error {
+	outcomes, err := scenario.AttackVectorStudy(27, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.AttackTable(outcomes))
+	return nil
+}
+
+func robustness(seed int64) error {
+	points := scenario.RecognitionUnderImpairment(100, []netem.Config{
+		{},
+		{LossRate: 0.01},
+		{LossRate: 0.05},
+		{LossRate: 0.10},
+		{LossRate: 0.30},
+		{DuplicateRate: 0.10, JitterMax: 20 * time.Millisecond},
+		{LossRate: 0.05, DuplicateRate: 0.05, JitterMax: 50 * time.Millisecond, SwapRate: 0.05},
+	}, seed)
+	fmt.Print(report.RobustnessTable(points))
+	return nil
+}
+
+func sensitivity(days int, seed int64) error {
+	points, err := scenario.NoiseSensitivity([]float64{0.5, 1, 2, 4, 8}, days, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.SensitivityTable(points))
+	return nil
+}
+
+func corpusAnalysis(seed int64, queries int) error {
+	echo, err := scenario.QueryDelayStudy(scenario.Echo, queries, seed)
+	if err != nil {
+		return err
+	}
+	ghm, err := scenario.QueryDelayStudy(scenario.GHM, queries, seed)
+	if err != nil {
+		return err
+	}
+	analyses := []scenario.CorpusAnalysis{
+		scenario.AnalyzeCorpus(corpus.Alexa(), time.Duration(echo.Summary.Mean*float64(time.Second))),
+		scenario.AnalyzeCorpus(corpus.Google(), time.Duration(ghm.Summary.Mean*float64(time.Second))),
+	}
+	fmt.Print(report.CorpusTable(analyses))
+	return nil
+}

@@ -1,0 +1,99 @@
+// Command vgproxy demonstrates the wire-plane Traffic Handler: an
+// emulated cloud server, the transparent proxy in front of it, and an
+// emulated speaker issuing commands through the proxy. Each command
+// burst is held while the decision runs, then released or dropped
+// according to -verdict.
+//
+// Usage:
+//
+//	vgproxy -commands 4 -hold 1.5s -verdict alternate
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"voiceguard"
+	"voiceguard/internal/emul"
+)
+
+func main() {
+	var (
+		commands = flag.Int("commands", 4, "voice commands to issue")
+		hold     = flag.Duration("hold", 1500*time.Millisecond, "hold duration while deciding")
+		verdict  = flag.String("verdict", "alternate", "decision policy: allow|block|alternate")
+	)
+	flag.Parse()
+
+	if err := run(*commands, *hold, *verdict); err != nil {
+		fmt.Fprintln(os.Stderr, "vgproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(commands int, hold time.Duration, verdict string) error {
+	cloud, err := emul.NewCloudServer("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	fmt.Printf("cloud server   %s\n", cloud.Addr())
+
+	var counter atomic.Int64
+	decide := func(ctx context.Context) bool {
+		select {
+		case <-time.After(hold):
+		case <-ctx.Done():
+			return false
+		}
+		switch verdict {
+		case "allow":
+			return true
+		case "block":
+			return false
+		default: // alternate: odd commands legit, even malicious
+			return counter.Add(1)%2 == 1
+		}
+	}
+
+	proxy, err := voiceguard.StartLiveProxy("127.0.0.1:0", cloud.Addr(), decide, time.Second)
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	fmt.Printf("guard proxy    %s (hold %v, policy %s)\n\n", proxy.Addr(), hold, verdict)
+
+	for i := 1; i <= commands; i++ {
+		speaker, err := emul.DialSpeaker(proxy.Addr())
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := speaker.SendCommand(3, 800); err != nil {
+			_ = speaker.Close()
+			return err
+		}
+		frame, err := speaker.Await(hold + 1500*time.Millisecond)
+		switch {
+		case err == nil && frame.Type == emul.MsgResponse:
+			fmt.Printf("command %d: RELEASED — cloud responded after %.3fs\n", i, time.Since(start).Seconds())
+		case errors.Is(err, emul.ErrSessionClosed):
+			fmt.Printf("command %d: DROPPED — TLS session terminated by the cloud\n", i)
+		case err != nil:
+			fmt.Printf("command %d: DROPPED — no response (%v)\n", i, err)
+		}
+		_ = speaker.Close()
+	}
+
+	stats := proxy.Stats()
+	fmt.Printf("\nheld %d bursts: released %d, dropped %d\n",
+		stats.HeldBursts, stats.ReleasedBursts, stats.DroppedBursts)
+	fmt.Printf("cloud executed %d command(s); %d session(s) aborted on sequence gaps\n",
+		cloud.CompletedCommands(), cloud.SequenceAborts())
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunAlternatePolicy(t *testing.T) {
+	if err := run(4, 50*time.Millisecond, "alternate"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllowPolicy(t *testing.T) {
+	if err := run(2, 30*time.Millisecond, "allow"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBlockPolicy(t *testing.T) {
+	if err := run(2, 30*time.Millisecond, "block"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Command vgreplay re-runs the Voice Command Traffic Recognition
+// sub-module over a capture file written by vgsim -dump (or any
+// pcap.WriteCapture output), printing how many spikes were held,
+// recognized as commands, and released — offline analysis of what the
+// guard saw.
+//
+// Usage:
+//
+//	vgsim -days 1 -dump run.vgc
+//	vgreplay -in run.vgc
+//	vgreplay -in run.vgc -speaker ghm -ip 192.168.1.201
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/recognize"
+	"voiceguard/internal/trafficgen"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "capture file to replay (required)")
+		speaker = flag.String("speaker", "echo", "recognition procedure: echo|ghm")
+		ip      = flag.String("ip", trafficgen.EchoIP, "the speaker's IP address in the capture")
+	)
+	flag.Parse()
+
+	if err := run(*in, *speaker, *ip); err != nil {
+		fmt.Fprintln(os.Stderr, "vgreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, speaker, ip string) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	packets, err := pcap.ReadCapture(f)
+	if err != nil {
+		return err
+	}
+	if len(packets) == 0 {
+		return fmt.Errorf("capture %s is empty", in)
+	}
+
+	var rec *recognize.Recognizer
+	switch speaker {
+	case "echo":
+		rec = recognize.NewEcho(ip)
+	case "ghm":
+		rec = recognize.NewGHM(ip)
+	default:
+		return fmt.Errorf("unknown speaker %q", speaker)
+	}
+
+	stats := recognize.Replay(rec, packets)
+	fmt.Printf("replayed %d packets spanning %s from %s\n",
+		stats.Packets, stats.Span.Round(time.Second), in)
+	fmt.Printf("spikes held:        %d\n", stats.Holds)
+	fmt.Printf("voice commands:     %d\n", stats.Commands)
+	fmt.Printf("released non-voice: %d\n", stats.Releases)
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/rng"
+	"voiceguard/internal/trafficgen"
+)
+
+// writeTestCapture builds a small Echo capture on disk.
+func writeTestCapture(t *testing.T) string {
+	t.Helper()
+	src := rng.New(1)
+	echo := trafficgen.NewEcho(src)
+	echo.AnomalyRate = 0
+	start := time.Date(2023, 3, 1, 9, 0, 0, 0, time.UTC)
+	boot, err := echo.Boot(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := append(boot, echo.Invocation(start.Add(time.Minute), 1).All()...)
+
+	path := filepath.Join(t.TempDir(), "test.vgc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcap.WriteCapture(f, capture); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReplaysCapture(t *testing.T) {
+	path := writeTestCapture(t)
+	if err := run(path, "echo", trafficgen.EchoIP); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGHMProcedure(t *testing.T) {
+	path := writeTestCapture(t)
+	if err := run(path, "ghm", trafficgen.GHMIP); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "echo", trafficgen.EchoIP); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run("/nonexistent/file.vgc", "echo", trafficgen.EchoIP); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeTestCapture(t)
+	if err := run(path, "gramophone", trafficgen.EchoIP); err == nil {
+		t.Fatal("unknown speaker accepted")
+	}
+
+	// Empty capture file.
+	empty := filepath.Join(t.TempDir(), "empty.vgc")
+	f, err := os.Create(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcap.WriteCapture(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if err := run(empty, "echo", trafficgen.EchoIP); err == nil {
+		t.Fatal("empty capture accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// Command vgsim runs one configurable protection experiment and
+// prints its metrics — the building block behind Tables II-IV.
+//
+// Usage:
+//
+//	vgsim -testbed house -spot A -speaker echo -days 7 -seed 1
+//	vgsim -testbed office -speaker ghm -devices watch4
+//	vgsim -testbed house -no-floor-tracking   # the §V-B2 ablation
+//	vgsim -dump run.vgc                       # persist the guard's capture
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"voiceguard"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/scenario"
+)
+
+func main() {
+	var (
+		testbed   = flag.String("testbed", "house", "testbed: house|apartment|office")
+		spot      = flag.String("spot", "A", "speaker deployment location: A|B")
+		speaker   = flag.String("speaker", "echo", "speaker: echo|ghm")
+		days      = flag.Int("days", 7, "experiment days")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		devices   = flag.String("devices", "pixel5,pixel4a", "owner devices: comma list of pixel5|pixel4a|watch4")
+		noTrack   = flag.Bool("no-floor-tracking", false, "disable the floor-level mechanism (ablation)")
+		perDevice = flag.Bool("records", false, "print per-command records")
+		dump      = flag.String("dump", "", "write the guard's packet capture to this file")
+		planFile  = flag.String("plan", "", "run on a custom floor plan (JSON, see -export-plan)")
+		exportTo  = flag.String("export-plan", "", "write the selected testbed's floor plan as JSON and exit")
+	)
+	flag.Parse()
+
+	if *exportTo != "" {
+		if err := exportPlan(*testbed, *exportTo); err != nil {
+			fmt.Fprintln(os.Stderr, "vgsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("floor plan written to %s\n", *exportTo)
+		return
+	}
+	if *planFile != "" {
+		if err := runCustomPlan(*planFile, *spot, *speaker, *days, *seed, *devices); err != nil {
+			fmt.Fprintln(os.Stderr, "vgsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*testbed, *spot, *speaker, *days, *seed, *devices, *noTrack, *perDevice, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "vgsim:", err)
+		os.Exit(1)
+	}
+}
+
+// exportPlan dumps a built-in testbed in the custom-plan JSON schema.
+func exportPlan(testbed, path string) error {
+	var plan *floorplan.Plan
+	switch testbed {
+	case "house":
+		plan = floorplan.House()
+	case "apartment":
+		plan = floorplan.Apartment()
+	case "office":
+		plan = floorplan.Office()
+	default:
+		return fmt.Errorf("unknown testbed %q", testbed)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := floorplan.ToJSON(f, plan); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runCustomPlan runs the protection experiment on a user-provided
+// floor plan.
+func runCustomPlan(path, spot, speaker string, days int, seed int64, devices string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	plan, err := floorplan.FromJSON(f)
+	_ = f.Close()
+	if err != nil {
+		return err
+	}
+
+	kind := scenario.Echo
+	switch speaker {
+	case "echo":
+	case "ghm":
+		kind = scenario.GHM
+	default:
+		return fmt.Errorf("unknown speaker %q", speaker)
+	}
+	var specs []scenario.DeviceSpec
+	for _, name := range strings.Split(devices, ",") {
+		switch strings.TrimSpace(name) {
+		case "pixel5":
+			specs = append(specs, scenario.DeviceSpec{ID: "pixel5", Hardware: radio.Pixel5})
+		case "pixel4a":
+			specs = append(specs, scenario.DeviceSpec{ID: "pixel4a", Hardware: radio.Pixel4a})
+		case "watch4":
+			specs = append(specs, scenario.DeviceSpec{ID: "watch4", Hardware: radio.GalaxyWatch4})
+		case "":
+		default:
+			return fmt.Errorf("unknown device %q", name)
+		}
+	}
+
+	out, err := scenario.Run(scenario.Config{
+		Plan:    plan,
+		Spot:    spot,
+		Speaker: kind,
+		Devices: specs,
+		Days:    days,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	c := out.Confusion
+	fmt.Printf("custom plan %q, spot %s, %d day(s)\n", plan.Name, spot, days)
+	fmt.Printf("thresholds:")
+	for name, thr := range out.Thresholds {
+		fmt.Printf(" %s=%.2f", name, thr)
+	}
+	fmt.Println()
+	fmt.Printf("confusion:  TP=%d FP=%d TN=%d FN=%d\n", c.TP, c.FP, c.TN, c.FN)
+	fmt.Printf("accuracy:   %.2f%%  precision: %.2f%%  recall: %.2f%%\n",
+		100*c.Accuracy(), 100*c.Precision(), 100*c.Recall())
+	return nil
+}
+
+func run(testbed, spot, speaker string, days int, seed int64, devices string, noTrack, records bool, dump string) error {
+	cfg := voiceguard.ExperimentConfig{
+		Spot:                 spot,
+		Days:                 days,
+		Seed:                 seed,
+		DisableFloorTracking: noTrack,
+		RecordCapture:        dump != "",
+	}
+
+	switch testbed {
+	case "house":
+		cfg.Testbed = voiceguard.TestbedHouse
+	case "apartment":
+		cfg.Testbed = voiceguard.TestbedApartment
+	case "office":
+		cfg.Testbed = voiceguard.TestbedOffice
+	default:
+		return fmt.Errorf("unknown testbed %q", testbed)
+	}
+
+	switch speaker {
+	case "echo":
+		cfg.Speaker = voiceguard.EchoDot
+	case "ghm":
+		cfg.Speaker = voiceguard.GoogleHomeMini
+	default:
+		return fmt.Errorf("unknown speaker %q", speaker)
+	}
+
+	for _, name := range strings.Split(devices, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "pixel5":
+			cfg.Devices = append(cfg.Devices, voiceguard.Device{Name: name, Model: voiceguard.Pixel5})
+		case "pixel4a":
+			cfg.Devices = append(cfg.Devices, voiceguard.Device{Name: name, Model: voiceguard.Pixel4a})
+		case "watch4":
+			cfg.Devices = append(cfg.Devices, voiceguard.Device{Name: name, Model: voiceguard.GalaxyWatch4})
+		case "":
+		default:
+			return fmt.Errorf("unknown device %q", name)
+		}
+	}
+
+	res, err := voiceguard.RunExperiment(cfg)
+	if err != nil {
+		return err
+	}
+
+	if dump != "" {
+		f, err := os.Create(dump)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteCapture(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("capture written to %s\n", dump)
+	}
+
+	fmt.Printf("%s, spot %s, %s, %d day(s), seed %d\n\n", cfg.Testbed, cfg.Spot, cfg.Speaker, days, seed)
+	fmt.Printf("thresholds:")
+	for name, thr := range res.Thresholds {
+		fmt.Printf(" %s=%.2f", name, thr)
+	}
+	fmt.Println()
+	m := res.Metrics
+	fmt.Printf("confusion:  TP=%d FP=%d TN=%d FN=%d\n", m.TP, m.FP, m.TN, m.FN)
+	fmt.Printf("accuracy:   %.2f%%\n", 100*m.Accuracy)
+	fmt.Printf("precision:  %.2f%%\n", 100*m.Precision)
+	fmt.Printf("recall:     %.2f%%\n", 100*m.Recall)
+	fmt.Printf("mean verification: %.3fs\n", res.MeanVerification.Seconds())
+
+	if records {
+		fmt.Println("\nday  kind        verdict   verification  perceived")
+		for _, c := range res.Commands {
+			kind, verdict := "legit", "allowed"
+			if c.Malicious {
+				kind = "attack"
+			}
+			if c.Blocked {
+				verdict = "BLOCKED"
+			}
+			fmt.Printf("%3d  %-10s %-9s %9.3fs %9.3fs\n",
+				c.Day, kind, verdict, c.Verification.Seconds(), c.Perceived.Seconds())
+		}
+	}
+	return nil
+}

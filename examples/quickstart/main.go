@@ -1,0 +1,52 @@
+// Quickstart: protect an Echo Dot in the two-floor house with one
+// owner phone, then look at what VoiceGuard allowed and blocked.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voiceguard"
+)
+
+func main() {
+	result, err := voiceguard.RunExperiment(voiceguard.ExperimentConfig{
+		Testbed: voiceguard.TestbedHouse,
+		Spot:    "A", // living-room deployment
+		Speaker: voiceguard.EchoDot,
+		Devices: []voiceguard.Device{
+			{Name: "owner-phone", Model: voiceguard.Pixel5},
+		},
+		Days: 2,
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("VoiceGuard quickstart — Echo Dot, two-floor house, one owner")
+	fmt.Printf("calibrated threshold: %.1f dB\n\n", result.Thresholds["owner-phone"])
+
+	m := result.Metrics
+	fmt.Printf("accuracy  %.1f%%   precision %.1f%%   recall %.1f%%\n",
+		100*m.Accuracy, 100*m.Precision, 100*m.Recall)
+	fmt.Printf("attacks blocked: %d/%d   legit commands allowed: %d/%d\n",
+		m.TP, m.TP+m.FN, m.TN, m.TN+m.FP)
+	fmt.Printf("mean RSSI verification: %.2fs\n\n", result.MeanVerification.Seconds())
+
+	fmt.Println("first few commands:")
+	for i, c := range result.Commands {
+		if i == 8 {
+			break
+		}
+		kind, verdict := "legit ", "allowed"
+		if c.Malicious {
+			kind = "attack"
+		}
+		if c.Blocked {
+			verdict = "BLOCKED"
+		}
+		fmt.Printf("  day %d  %s  %-7s  verified in %.2fs\n",
+			c.Day+1, kind, verdict, c.Verification.Seconds())
+	}
+}

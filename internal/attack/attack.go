@@ -1,0 +1,141 @@
+// Package attack models the paper's threat classes (§II-B, §III-B):
+// the different ways an adversary can make a smart speaker hear a
+// malicious command. VoiceGuard's central claim is that the defence
+// is audio-agnostic — whatever produced the sound, the command must
+// traverse the network as speaker-to-cloud traffic, where it is held
+// and checked — so every vector reduces to the same traffic shape,
+// differing only in where the sound source sits and whether an
+// attacker must be physically present.
+package attack
+
+import "fmt"
+
+// Vector is one class of voice-command attack.
+type Vector int
+
+// The paper's attack vectors.
+const (
+	// Replay: pre-recorded owner voice played back (§II-B1).
+	Replay Vector = iota + 1
+	// Synthesis: synthetic owner voice defeating voice-match (§II-B1,
+	// [31]).
+	Synthesis
+	// AdversarialExample: hidden commands in music/ads surviving
+	// over-the-air play (§II-B2, Devil's Whisper / CommanderSong).
+	AdversarialExample
+	// Ultrasound: inaudible commands modulated on ultrasonic
+	// carriers (§II-B3, DolphinAttack / SurfingAttack).
+	Ultrasound
+	// CompromisedDevice: a hacked smart TV or speaker near the
+	// target plays the command — the remote attacker of §III-B.
+	CompromisedDevice
+	// EmbeddedMedia: commands hidden in published streaming content
+	// for large-scale attacks (§III-B).
+	EmbeddedMedia
+	// LaserInjection: light-based microphone injection (§IV-B, [69])
+	// — activates the microphone without any sound at all.
+	LaserInjection
+)
+
+// String names the vector.
+func (v Vector) String() string {
+	switch v {
+	case Replay:
+		return "replay"
+	case Synthesis:
+		return "voice synthesis"
+	case AdversarialExample:
+		return "audio adversarial example"
+	case Ultrasound:
+		return "inaudible ultrasound"
+	case CompromisedDevice:
+		return "compromised playback device"
+	case EmbeddedMedia:
+		return "embedded media"
+	case LaserInjection:
+		return "laser injection"
+	default:
+		return fmt.Sprintf("Vector(%d)", int(v))
+	}
+}
+
+// Profile describes a vector's relevant properties for the
+// experiment protocol.
+type Profile struct {
+	Vector      Vector
+	Description string
+
+	// OnScene attackers must be physically present (a malicious
+	// guest); remote vectors are delivered through devices or media.
+	OnScene bool
+	// DefeatsVoiceMatch: the vector bypasses the speaker's built-in
+	// voice authentication, so only VoiceGuard stands in the way.
+	DefeatsVoiceMatch bool
+	// Audible to a person in the same room.
+	Audible bool
+}
+
+// Catalog returns the paper's threat vectors with their properties.
+func Catalog() []Profile {
+	return []Profile{
+		{
+			Vector:            Replay,
+			Description:       "pre-recorded owner voice played back near the speaker",
+			OnScene:           true,
+			DefeatsVoiceMatch: true,
+			Audible:           true,
+		},
+		{
+			Vector:            Synthesis,
+			Description:       "synthesised owner voice from harvested samples",
+			OnScene:           true,
+			DefeatsVoiceMatch: true,
+			Audible:           true,
+		},
+		{
+			Vector:            AdversarialExample,
+			Description:       "perturbed audio transcribed as a command by the ASR",
+			OnScene:           false,
+			DefeatsVoiceMatch: true,
+			Audible:           true,
+		},
+		{
+			Vector:            Ultrasound,
+			Description:       "command modulated on an ultrasonic carrier",
+			OnScene:           true,
+			DefeatsVoiceMatch: true,
+			Audible:           false,
+		},
+		{
+			Vector:            CompromisedDevice,
+			Description:       "hacked smart TV plays the command for a remote attacker",
+			OnScene:           false,
+			DefeatsVoiceMatch: true,
+			Audible:           true,
+		},
+		{
+			Vector:            EmbeddedMedia,
+			Description:       "command hidden in published streaming content",
+			OnScene:           false,
+			DefeatsVoiceMatch: true,
+			Audible:           true,
+		},
+		{
+			Vector:            LaserInjection,
+			Description:       "laser-modulated signal injected into the microphone",
+			OnScene:           false,
+			DefeatsVoiceMatch: true,
+			Audible:           false,
+		},
+	}
+}
+
+// ByVector returns the profile for a vector.
+func ByVector(v Vector) (Profile, bool) {
+	for _, p := range Catalog() {
+		if p.Vector == v {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,62 @@
+package attack
+
+import "testing"
+
+func TestCatalogCoversAllVectors(t *testing.T) {
+	catalog := Catalog()
+	if len(catalog) != 7 {
+		t.Fatalf("catalog has %d vectors, want 7", len(catalog))
+	}
+	seen := make(map[Vector]bool)
+	for _, p := range catalog {
+		if seen[p.Vector] {
+			t.Fatalf("duplicate vector %v", p.Vector)
+		}
+		seen[p.Vector] = true
+		if p.Description == "" {
+			t.Errorf("%v: empty description", p.Vector)
+		}
+		if !p.DefeatsVoiceMatch {
+			t.Errorf("%v: every modelled vector bypasses voice match by assumption", p.Vector)
+		}
+	}
+}
+
+func TestByVector(t *testing.T) {
+	p, ok := ByVector(Ultrasound)
+	if !ok || p.Vector != Ultrasound {
+		t.Fatalf("ByVector(Ultrasound) = %+v, %v", p, ok)
+	}
+	if p.Audible {
+		t.Fatal("ultrasound should be inaudible")
+	}
+	if _, ok := ByVector(Vector(99)); ok {
+		t.Fatal("unknown vector found")
+	}
+}
+
+func TestVectorStrings(t *testing.T) {
+	for _, p := range Catalog() {
+		if p.Vector.String() == "" || p.Vector.String()[0] == 'V' {
+			t.Errorf("vector %d has no friendly name", int(p.Vector))
+		}
+	}
+	if Vector(99).String() == "" {
+		t.Fatal("unknown vector should still render")
+	}
+}
+
+func TestRemoteVectorsAreOffScene(t *testing.T) {
+	for _, v := range []Vector{CompromisedDevice, EmbeddedMedia, LaserInjection, AdversarialExample} {
+		p, _ := ByVector(v)
+		if p.OnScene {
+			t.Errorf("%v should be a remote vector", v)
+		}
+	}
+	for _, v := range []Vector{Replay, Synthesis, Ultrasound} {
+		p, _ := ByVector(v)
+		if !p.OnScene {
+			t.Errorf("%v should be an on-scene vector", v)
+		}
+	}
+}

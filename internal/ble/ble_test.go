@@ -1,0 +1,94 @@
+package ble
+
+import (
+	"testing"
+	"time"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/geom"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/rng"
+)
+
+func setup(t *testing.T) (*Scanner, Advertiser, floorplan.Position) {
+	t.Helper()
+	plan := floorplan.House()
+	model := radio.NewModel(plan, radio.DefaultParams(), 1)
+	spot, _ := plan.Spot("A")
+	sc := NewScanner(model, radio.Pixel5, rng.New(42))
+	return sc, NewAdvertiser(spot.Pos), floorplan.Position{Floor: 0, At: geom.Point{X: 4, Y: 3}}
+}
+
+func TestMeasureCollectsConfiguredPackets(t *testing.T) {
+	sc, adv, at := setup(t)
+	r := sc.Measure(adv, at)
+	if len(r.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(r.Samples))
+	}
+}
+
+func TestMeasureAveragesSamples(t *testing.T) {
+	sc, adv, at := setup(t)
+	r := sc.Measure(adv, at)
+	var sum float64
+	for _, s := range r.Samples {
+		sum += s
+	}
+	if want := sum / float64(len(r.Samples)); r.RSSI != want {
+		t.Fatalf("RSSI = %v, want mean of samples %v", r.RSSI, want)
+	}
+}
+
+func TestMeasureDurationWithinBounds(t *testing.T) {
+	sc, adv, at := setup(t)
+	for i := 0; i < 200; i++ {
+		r := sc.Measure(adv, at)
+		min := 2 * adv.Interval // (packets-1) intervals + >=0 first wait + >=20ms
+		max := 3*adv.Interval + 60*time.Millisecond
+		if r.Duration < min || r.Duration > max {
+			t.Fatalf("duration %v outside [%v, %v]", r.Duration, min, max)
+		}
+	}
+}
+
+func TestMeasureDurationVaries(t *testing.T) {
+	sc, adv, at := setup(t)
+	first := sc.Measure(adv, at).Duration
+	varies := false
+	for i := 0; i < 20; i++ {
+		if sc.Measure(adv, at).Duration != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("scan duration never varies")
+	}
+}
+
+func TestSinglePacketScanner(t *testing.T) {
+	sc, adv, at := setup(t)
+	sc.Packets = 0 // clamped to 1
+	r := sc.Measure(adv, at)
+	if len(r.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(r.Samples))
+	}
+	if r.Duration >= adv.Interval+60*time.Millisecond {
+		t.Fatalf("single-packet duration %v too long", r.Duration)
+	}
+}
+
+func TestQuickReflectsDistance(t *testing.T) {
+	sc, adv, _ := setup(t)
+	near := floorplan.Position{Floor: 0, At: geom.Point{X: 2.5, Y: 2.25}}
+	far := floorplan.Position{Floor: 0, At: geom.Point{X: 11, Y: 9}}
+	var nearSum, farSum float64
+	const n = 200
+	for i := 0; i < n; i++ {
+		nearSum += sc.Quick(adv, near)
+		farSum += sc.Quick(adv, far)
+	}
+	if nearSum/n <= farSum/n {
+		t.Fatalf("near average %.2f not above far average %.2f", nearSum/n, farSum/n)
+	}
+}

@@ -1,0 +1,100 @@
+package decision
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AnyOf combines methods disjunctively: the command is legitimate if
+// at least one method approves it. Each sub-method runs concurrently
+// (on the simulated clock); the verdict completes as soon as it is
+// determined. AnyOf is how additional user-identification signals
+// (§VII) can relax the RSSI method — e.g. "RSSI near OR owner
+// explicitly unlocked the speaker".
+type AnyOf struct {
+	Methods []Method
+}
+
+var _ Method = (*AnyOf)(nil)
+
+// Name returns the combined method name.
+func (m *AnyOf) Name() string { return "any-of(" + joinNames(m.Methods) + ")" }
+
+// Check runs all sub-methods and approves on the first approval.
+func (m *AnyOf) Check(req Request, done func(Result)) {
+	combine(m.Methods, req, done, true)
+}
+
+// AllOf combines methods conjunctively: every method must approve.
+// This is how extra signals harden the RSSI method — e.g. "RSSI near
+// AND inside allowed hours".
+type AllOf struct {
+	Methods []Method
+}
+
+var _ Method = (*AllOf)(nil)
+
+// Name returns the combined method name.
+func (m *AllOf) Name() string { return "all-of(" + joinNames(m.Methods) + ")" }
+
+// Check runs all sub-methods and rejects on the first rejection.
+func (m *AllOf) Check(req Request, done func(Result)) {
+	combine(m.Methods, req, done, false)
+}
+
+// combine implements both combinators: shortOnApprove selects whether
+// an approval (AnyOf) or a rejection (AllOf) short-circuits.
+func combine(methods []Method, req Request, done func(Result), shortOnApprove bool) {
+	if len(methods) == 0 {
+		done(Result{
+			Legitimate: false,
+			Reason:     "no methods configured",
+			At:         req.At,
+		})
+		return
+	}
+	var (
+		decided bool
+		pending = len(methods)
+	)
+	finish := func(r Result) {
+		if decided {
+			return
+		}
+		decided = true
+		done(r)
+	}
+	for _, sub := range methods {
+		sub := sub
+		sub.Check(req, func(r Result) {
+			if decided {
+				return
+			}
+			if r.Legitimate == shortOnApprove {
+				finish(Result{
+					Legitimate: shortOnApprove,
+					Reason:     fmt.Sprintf("%s: %s", sub.Name(), r.Reason),
+					At:         r.At,
+				})
+				return
+			}
+			pending--
+			if pending == 0 {
+				finish(Result{
+					Legitimate: !shortOnApprove,
+					Reason:     fmt.Sprintf("all methods agreed (last: %s)", r.Reason),
+					At:         r.At,
+				})
+			}
+		})
+	}
+}
+
+// joinNames renders sub-method names.
+func joinNames(methods []Method) string {
+	names := make([]string, len(methods))
+	for i, m := range methods {
+		names[i] = m.Name()
+	}
+	return strings.Join(names, ",")
+}

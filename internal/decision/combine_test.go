@@ -1,0 +1,140 @@
+package decision
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// slowStub completes after a configurable number of manual release
+// calls, letting tests control completion order.
+type slowStub struct {
+	name  string
+	allow bool
+	done  func(Result)
+}
+
+func (s *slowStub) Name() string { return s.name }
+
+func (s *slowStub) Check(req Request, done func(Result)) {
+	s.done = done
+}
+
+func (s *slowStub) release(at time.Time) {
+	s.done(Result{Legitimate: s.allow, Reason: s.name, At: at})
+}
+
+func TestAnyOfApprovesOnFirstApproval(t *testing.T) {
+	a := &slowStub{name: "a", allow: false}
+	b := &slowStub{name: "b", allow: true}
+	m := &AnyOf{Methods: []Method{a, b}}
+
+	var got *Result
+	m.Check(Request{At: epoch}, func(r Result) { got = &r })
+	b.release(epoch.Add(time.Second))
+	if got == nil || !got.Legitimate {
+		t.Fatalf("AnyOf did not approve on b's approval: %+v", got)
+	}
+	// a's later rejection must not double-complete.
+	a.release(epoch.Add(2 * time.Second))
+}
+
+func TestAnyOfRejectsOnlyAfterAllReject(t *testing.T) {
+	a := &slowStub{name: "a", allow: false}
+	b := &slowStub{name: "b", allow: false}
+	m := &AnyOf{Methods: []Method{a, b}}
+
+	var got *Result
+	m.Check(Request{At: epoch}, func(r Result) { got = &r })
+	a.release(epoch.Add(time.Second))
+	if got != nil {
+		t.Fatal("AnyOf decided before all methods rejected")
+	}
+	b.release(epoch.Add(2 * time.Second))
+	if got == nil || got.Legitimate {
+		t.Fatalf("AnyOf should reject after all rejections: %+v", got)
+	}
+}
+
+func TestAllOfRejectsOnFirstRejection(t *testing.T) {
+	a := &slowStub{name: "a", allow: true}
+	b := &slowStub{name: "b", allow: false}
+	m := &AllOf{Methods: []Method{a, b}}
+
+	var got *Result
+	m.Check(Request{At: epoch}, func(r Result) { got = &r })
+	b.release(epoch.Add(time.Second))
+	if got == nil || got.Legitimate {
+		t.Fatalf("AllOf did not reject on b's rejection: %+v", got)
+	}
+	a.release(epoch.Add(2 * time.Second))
+}
+
+func TestAllOfApprovesAfterAllApprove(t *testing.T) {
+	a := &slowStub{name: "a", allow: true}
+	b := &slowStub{name: "b", allow: true}
+	m := &AllOf{Methods: []Method{a, b}}
+
+	var got *Result
+	m.Check(Request{At: epoch}, func(r Result) { got = &r })
+	a.release(epoch.Add(time.Second))
+	if got != nil {
+		t.Fatal("AllOf decided early")
+	}
+	b.release(epoch.Add(2 * time.Second))
+	if got == nil || !got.Legitimate {
+		t.Fatalf("AllOf should approve: %+v", got)
+	}
+}
+
+func TestCombinatorsEmpty(t *testing.T) {
+	var got Result
+	(&AnyOf{}).Check(Request{At: epoch}, func(r Result) { got = r })
+	if got.Legitimate {
+		t.Fatal("empty AnyOf approved")
+	}
+	(&AllOf{}).Check(Request{At: epoch}, func(r Result) { got = r })
+	if got.Legitimate {
+		t.Fatal("empty AllOf approved")
+	}
+}
+
+func TestCombinatorNames(t *testing.T) {
+	m := &AnyOf{Methods: []Method{&StaticMethod{MethodName: "x"}, &ScheduleMethod{}}}
+	if !strings.Contains(m.Name(), "x") || !strings.Contains(m.Name(), "schedule") {
+		t.Fatalf("Name() = %q", m.Name())
+	}
+	all := &AllOf{Methods: []Method{&StaticMethod{MethodName: "y"}}}
+	if !strings.Contains(all.Name(), "y") {
+		t.Fatalf("Name() = %q", all.Name())
+	}
+}
+
+func TestCombinedWithRealMethods(t *testing.T) {
+	// RSSI AND schedule: a command inside allowed hours with the
+	// owner nearby passes; outside hours it is blocked even with the
+	// owner next to the speaker.
+	f := newHouseFixture(t, 20)
+	threshold := f.calibrated(t)
+	rssi := &RSSIMethod{
+		Clock:   f.clock,
+		Broker:  f.broker,
+		Adv:     f.adv,
+		Devices: []DeviceConfig{{ID: "pixel5", Threshold: threshold}},
+	}
+	combined := &AllOf{Methods: []Method{
+		rssi,
+		&ScheduleMethod{StartHour: 8, EndHour: 22},
+	}}
+
+	// epoch is 09:00 UTC: inside hours.
+	if got := runCheck(t, f, combined); !got.Legitimate {
+		t.Fatalf("in-hours command with owner near blocked: %+v", got)
+	}
+
+	// Advance the clock to 23:00: outside hours.
+	f.clock.Advance(14 * time.Hour)
+	if got := runCheck(t, f, combined); got.Legitimate {
+		t.Fatalf("out-of-hours command allowed: %+v", got)
+	}
+}

@@ -1,0 +1,72 @@
+package decision
+
+// FloorTracker maintains the believed floor level of one owner device
+// in a multi-floor home (§V-B2). Stairway motion events trigger an
+// RSSI trace; the classifier decides whether the owner went up or
+// down, and the tracker updates the level. A voice command is always
+// blocked while the owner is believed to be on a different floor than
+// the speaker, regardless of RSSI — that closes the bleed-through
+// false-negative hole of Fig. 8a.
+type FloorTracker struct {
+	SpeakerFloor int
+	Classifier   *TraceClassifier
+
+	level    int
+	minLevel int
+	maxLevel int
+}
+
+// NewFloorTracker returns a tracker for a building whose floors span
+// [minLevel, maxLevel], with the owner initially on startLevel.
+func NewFloorTracker(classifier *TraceClassifier, speakerFloor, minLevel, maxLevel, startLevel int) *FloorTracker {
+	t := &FloorTracker{
+		SpeakerFloor: speakerFloor,
+		Classifier:   classifier,
+		minLevel:     minLevel,
+		maxLevel:     maxLevel,
+	}
+	t.level = clampInt(startLevel, minLevel, maxLevel)
+	return t
+}
+
+// Level returns the believed floor of the owner.
+func (t *FloorTracker) Level() int { return t.level }
+
+// SetLevel forces the believed floor (e.g. after the owner
+// authenticates somewhere known).
+func (t *FloorTracker) SetLevel(level int) {
+	t.level = clampInt(level, t.minLevel, t.maxLevel)
+}
+
+// OnMotionTrace processes the RSSI trace recorded after a stairway
+// motion event and returns the classification applied.
+func (t *FloorTracker) OnMotionTrace(trace []float64) (TraceClass, error) {
+	f, err := ExtractFeatures(trace)
+	if err != nil {
+		return TraceOther, err
+	}
+	class := t.Classifier.Classify(f)
+	switch class {
+	case TraceUp:
+		t.level = clampInt(t.level+1, t.minLevel, t.maxLevel)
+	case TraceDown:
+		t.level = clampInt(t.level-1, t.minLevel, t.maxLevel)
+	}
+	return class, nil
+}
+
+// SameFloorAsSpeaker reports whether the owner is believed to be on
+// the speaker's floor.
+func (t *FloorTracker) SameFloorAsSpeaker() bool {
+	return t.level == t.SpeakerFloor
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,75 @@
+// Package decision implements the Decision Module (§IV-C): an
+// extensible framework of legitimacy-checking methods, with the
+// Bluetooth-RSSI method as the primary implementation — per-device
+// calibrated thresholds, multi-user group queries, and the
+// floor-level tracker that classifies stairway RSSI traces by the
+// slope and y-intercept of their linear fit (Fig. 10).
+package decision
+
+import "time"
+
+// Request asks the Decision Module whether the voice command arriving
+// now is legitimate.
+type Request struct {
+	At      time.Time
+	Speaker string // speaker identifier (multi-speaker deployments)
+}
+
+// Result is the module's verdict.
+type Result struct {
+	Legitimate bool
+	Reason     string
+	At         time.Time // simulated completion time
+}
+
+// Method checks the legitimacy of a voice command. Implementations
+// complete asynchronously on the simulation clock and must call done
+// exactly once.
+type Method interface {
+	Name() string
+	Check(req Request, done func(Result))
+}
+
+// StaticMethod is a trivial Method returning a fixed verdict — the
+// package's second implementation, demonstrating the extensible
+// framework (and useful as a test stub).
+type StaticMethod struct {
+	MethodName string
+	Allow      bool
+}
+
+var _ Method = (*StaticMethod)(nil)
+
+// Name returns the method name.
+func (m *StaticMethod) Name() string { return m.MethodName }
+
+// Check immediately reports the fixed verdict.
+func (m *StaticMethod) Check(req Request, done func(Result)) {
+	done(Result{Legitimate: m.Allow, Reason: "static policy", At: req.At})
+}
+
+// ScheduleMethod allows commands only inside configured daily hours —
+// a simple example of plugging a non-RSSI signal into the framework
+// (the paper's "other approaches ... can be easily integrated").
+type ScheduleMethod struct {
+	// StartHour and EndHour bound the allowed window in the request
+	// timestamp's location, half-open [StartHour, EndHour).
+	StartHour, EndHour int
+}
+
+var _ Method = (*ScheduleMethod)(nil)
+
+// Name returns the method name.
+func (m *ScheduleMethod) Name() string { return "schedule" }
+
+// Check allows the command when the request time falls inside the
+// configured window.
+func (m *ScheduleMethod) Check(req Request, done func(Result)) {
+	h := req.At.Hour()
+	ok := h >= m.StartHour && h < m.EndHour
+	reason := "inside allowed hours"
+	if !ok {
+		reason = "outside allowed hours"
+	}
+	done(Result{Legitimate: ok, Reason: reason, At: req.At})
+}

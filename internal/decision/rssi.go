@@ -1,0 +1,162 @@
+package decision
+
+import (
+	"fmt"
+	"time"
+
+	"voiceguard/internal/ble"
+	"voiceguard/internal/mobility"
+	"voiceguard/internal/push"
+	"voiceguard/internal/simtime"
+	"voiceguard/internal/stats"
+)
+
+// DeviceConfig registers one legitimate user's device with the RSSI
+// method.
+type DeviceConfig struct {
+	ID        string
+	Threshold float64       // calibrated RSSI threshold (dB)
+	Tracker   *FloorTracker // optional floor-level tracking
+
+	// FloorCeiling, when non-zero, is the highest RSSI the survey
+	// walk measured anywhere off the speaker's floor. A reading above
+	// it is physically achievable only on the speaker's floor, so it
+	// overrides (and resynchronises) a floor tracker that has drifted
+	// out of sync — bounding how long one misclassified stair trace
+	// can keep blocking a legitimate user.
+	FloorCeiling float64
+}
+
+// RSSIMethod is the Bluetooth-RSSI legitimacy check (Fig. 5): push a
+// measurement request to every registered owner device, and declare
+// the command legitimate if at least one device reports an RSSI above
+// its threshold while being believed on the speaker's floor.
+type RSSIMethod struct {
+	Clock   *simtime.Sim
+	Broker  *push.Broker
+	Adv     ble.Advertiser
+	Devices []DeviceConfig
+
+	// Timeout bounds how long the method waits for device replies; a
+	// device that does not answer in time counts as "not nearby".
+	Timeout time.Duration
+}
+
+var _ Method = (*RSSIMethod)(nil)
+
+// DefaultTimeout is the reply deadline for RSSI queries.
+const DefaultTimeout = 5 * time.Second
+
+// Name returns the method name.
+func (m *RSSIMethod) Name() string { return "bluetooth-rssi" }
+
+// Check runs the group RSSI query. The verdict completes at the
+// earliest moment it is determined: on the first passing reply
+// (legitimate), or once every device has replied below threshold or
+// the timeout fires (malicious).
+func (m *RSSIMethod) Check(req Request, done func(Result)) {
+	if len(m.Devices) == 0 {
+		done(Result{
+			Legitimate: false,
+			Reason:     "no registered devices",
+			At:         req.At,
+		})
+		return
+	}
+	timeout := m.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+
+	cfg := make(map[string]DeviceConfig, len(m.Devices))
+	ids := make([]string, 0, len(m.Devices))
+	for _, d := range m.Devices {
+		cfg[d.ID] = d
+		ids = append(ids, d.ID)
+	}
+
+	var (
+		decided bool
+		pending = len(ids)
+		finish  = func(r Result) {
+			if decided {
+				return
+			}
+			decided = true
+			done(r)
+		}
+	)
+
+	timeoutEv := m.Clock.After(timeout, func() {
+		finish(Result{
+			Legitimate: false,
+			Reason:     "query timeout with no passing device",
+			At:         m.Clock.Now(),
+		})
+	})
+
+	err := m.Broker.RequestRSSI(ids, m.Adv, func(r push.Reply) {
+		if decided {
+			return
+		}
+		d := cfg[r.DeviceID]
+		pass := r.Reading.RSSI >= d.Threshold
+		if pass && d.Tracker != nil && !d.Tracker.SameFloorAsSpeaker() {
+			if d.FloorCeiling != 0 && r.Reading.RSSI > d.FloorCeiling {
+				// The reading exceeds anything measurable off the
+				// speaker's floor: the tracker has drifted; resync.
+				d.Tracker.SetLevel(d.Tracker.SpeakerFloor)
+			} else {
+				// Paper §V-B2: a command is always blocked while the
+				// owner is believed to be on another floor.
+				pass = false
+			}
+		}
+		if pass {
+			timeoutEv.Cancel()
+			finish(Result{
+				Legitimate: true,
+				Reason:     fmt.Sprintf("device %s RSSI %.1f above threshold %.1f", r.DeviceID, r.Reading.RSSI, d.Threshold),
+				At:         r.At,
+			})
+			return
+		}
+		pending--
+		if pending == 0 {
+			timeoutEv.Cancel()
+			finish(Result{
+				Legitimate: false,
+				Reason:     "no device near the speaker",
+				At:         r.At,
+			})
+		}
+	})
+	if err != nil {
+		timeoutEv.Cancel()
+		finish(Result{
+			Legitimate: false,
+			Reason:     fmt.Sprintf("push error: %v", err),
+			At:         m.Clock.Now(),
+		})
+	}
+}
+
+// CalibrationInterval is the walk-the-room app's sampling period.
+const CalibrationInterval = 500 * time.Millisecond
+
+// CalibrateThreshold reproduces the paper's threshold app: the user
+// walks the given path (e.g. along the speaker-room walls) while the
+// app samples the speaker's RSSI every 0.5 s; the threshold is the
+// minimum measured value.
+func CalibrateThreshold(sc *ble.Scanner, adv ble.Advertiser, path *mobility.Path) (float64, error) {
+	n := int(path.Duration()/CalibrationInterval) + 1
+	if n < 2 {
+		return 0, fmt.Errorf("decision: calibration walk too short (%v)", path.Duration())
+	}
+	values := make([]float64, n)
+	for i := range values {
+		pos := path.At(time.Duration(i) * CalibrationInterval)
+		values[i] = sc.Quick(adv, pos)
+	}
+	return stats.Min(values), nil
+}

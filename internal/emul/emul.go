@@ -1,0 +1,294 @@
+// Package emul provides wire-plane endpoint emulators for the
+// Fig. 4 experiments: a cloud voice server and a smart-speaker client
+// that exchange sequence-numbered TLS records over real sockets
+// (normally through the proxy package's transparent proxy).
+//
+// Commercial speaker-cloud sessions are mutually authenticated TLS;
+// what matters for VoiceGuard is that (a) the server only acts when
+// the command bytes actually arrive, and (b) a gap in the record
+// sequence — held packets that were dropped — makes the server abort
+// the session. The emulated protocol reproduces exactly those two
+// properties: every record carries an explicit sequence number, and
+// the server answers command records, echoes heartbeats, and sends a
+// TLS Alert and closes on any sequence gap.
+package emul
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"voiceguard/internal/pcap"
+)
+
+// Message types carried in record payloads.
+const (
+	MsgHeartbeat byte = 'H' // keep-alive, echoed with MsgAck
+	MsgCommand   byte = 'C' // voice-command audio chunk
+	MsgEnd       byte = 'E' // end of command; server replies MsgResponse
+	MsgAck       byte = 'A' // server heartbeat acknowledgement
+	MsgResponse  byte = 'R' // server voice response
+)
+
+// headerLen is the payload prefix: 4-byte sequence number + 1 type
+// byte.
+const headerLen = 5
+
+// ErrSessionClosed is returned when the peer terminated the session.
+var ErrSessionClosed = errors.New("emul: session closed by peer")
+
+// Frame is one protocol message.
+type Frame struct {
+	Seq  uint32
+	Type byte
+	Body []byte
+}
+
+// encodeFrame builds the record payload for a frame.
+func encodeFrame(f Frame) []byte {
+	out := make([]byte, headerLen+len(f.Body))
+	binary.BigEndian.PutUint32(out[0:4], f.Seq)
+	out[4] = f.Type
+	copy(out[headerLen:], f.Body)
+	return out
+}
+
+// decodeFrame parses a record payload.
+func decodeFrame(payload []byte) (Frame, error) {
+	if len(payload) < headerLen {
+		return Frame{}, fmt.Errorf("emul: frame too short (%d bytes)", len(payload))
+	}
+	return Frame{
+		Seq:  binary.BigEndian.Uint32(payload[0:4]),
+		Type: payload[4],
+		Body: append([]byte(nil), payload[headerLen:]...),
+	}, nil
+}
+
+// CloudServer emulates the voice-service backend.
+type CloudServer struct {
+	lis net.Listener
+
+	mu       sync.Mutex
+	closed   bool
+	aborts   int // sessions closed due to a sequence gap
+	commands int // completed voice commands
+
+	wg sync.WaitGroup
+}
+
+// NewCloudServer starts a cloud server on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewCloudServer(addr string) (*CloudServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("emul: listen: %w", err)
+	}
+	s := &CloudServer{lis: lis}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *CloudServer) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the server down and waits for its goroutines.
+func (s *CloudServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.lis.Close()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// SequenceAborts returns how many sessions the server terminated due
+// to a record-sequence gap (the fate of dropped commands).
+func (s *CloudServer) SequenceAborts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aborts
+}
+
+// CompletedCommands returns how many voice commands reached the
+// server in full.
+func (s *CloudServer) CompletedCommands() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commands
+}
+
+func (s *CloudServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve runs one session: validate sequence continuity, echo
+// heartbeats, answer completed commands.
+func (s *CloudServer) serve(conn net.Conn) {
+	defer conn.Close()
+	var (
+		expect    uint32
+		serverSeq uint32
+	)
+	for {
+		rec, err := pcap.ReadRecord(conn)
+		if err != nil {
+			return
+		}
+		if rec.Type != pcap.RecordApplicationData {
+			continue // ignore handshake records
+		}
+		frame, err := decodeFrame(rec.Payload)
+		if err != nil {
+			return
+		}
+		if frame.Seq != expect {
+			// Fig. 4 case III: unmatched TLS record sequence number —
+			// alert and terminate.
+			_ = pcap.WriteRecord(conn, pcap.Record{
+				Type:    pcap.RecordAlert,
+				Version: pcap.TLS12Version,
+				Payload: []byte{2, 20}, // fatal, bad_record_mac
+			})
+			s.mu.Lock()
+			s.aborts++
+			s.mu.Unlock()
+			return
+		}
+		expect++
+
+		switch frame.Type {
+		case MsgHeartbeat:
+			if err := s.reply(conn, &serverSeq, MsgAck, nil); err != nil {
+				return
+			}
+		case MsgEnd:
+			s.mu.Lock()
+			s.commands++
+			s.mu.Unlock()
+			if err := s.reply(conn, &serverSeq, MsgResponse, []byte("ok")); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// reply sends one server frame.
+func (s *CloudServer) reply(conn net.Conn, seq *uint32, typ byte, body []byte) error {
+	f := Frame{Seq: *seq, Type: typ, Body: body}
+	*seq++
+	return pcap.WriteRecord(conn, pcap.Record{
+		Type:    pcap.RecordApplicationData,
+		Version: pcap.TLS12Version,
+		Payload: encodeFrame(f),
+	})
+}
+
+// SpeakerClient emulates the speaker side of the session.
+type SpeakerClient struct {
+	conn net.Conn
+	seq  uint32
+}
+
+// DialSpeaker connects a speaker client to addr (typically the
+// transparent proxy's listen address).
+func DialSpeaker(addr string) (*SpeakerClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("emul: dial: %w", err)
+	}
+	return &SpeakerClient{conn: conn}, nil
+}
+
+// Close terminates the session.
+func (c *SpeakerClient) Close() error { return c.conn.Close() }
+
+// send writes one speaker frame as an application-data record.
+func (c *SpeakerClient) send(typ byte, body []byte) error {
+	f := Frame{Seq: c.seq, Type: typ, Body: body}
+	c.seq++
+	return pcap.WriteRecord(c.conn, pcap.Record{
+		Type:    pcap.RecordApplicationData,
+		Version: pcap.TLS12Version,
+		Payload: encodeFrame(f),
+	})
+}
+
+// SendHeartbeat sends one keep-alive frame.
+func (c *SpeakerClient) SendHeartbeat() error { return c.send(MsgHeartbeat, nil) }
+
+// frameOverhead is the bytes a framed record adds around the body:
+// the TLS record header plus the sequence/type prefix.
+const frameOverhead = 5 + headerLen
+
+// MinPatternLen is the smallest wire length SendPattern can produce.
+const MinPatternLen = frameOverhead + 1
+
+// SendPattern streams records whose on-the-wire lengths equal the
+// given byte counts — the bridge between the trace-plane traffic
+// generators (which speak in packet lengths, §IV-B's signature unit)
+// and the wire plane. Each record carries a normal sequence-numbered
+// frame of the given type, so the cloud server accepts the stream and
+// still aborts on a drop-induced gap. Lengths below MinPatternLen are
+// clamped up to it.
+func (c *SpeakerClient) SendPattern(lengths []int, typ byte) error {
+	for _, l := range lengths {
+		body := l - frameOverhead
+		if body < 1 {
+			body = 1
+		}
+		if err := c.send(typ, make([]byte, body)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendCommand streams a voice command as chunk frames followed by an
+// end frame.
+func (c *SpeakerClient) SendCommand(chunks, chunkBytes int) error {
+	body := make([]byte, chunkBytes)
+	for i := 0; i < chunks; i++ {
+		if err := c.send(MsgCommand, body); err != nil {
+			return err
+		}
+	}
+	return c.send(MsgEnd, nil)
+}
+
+// Await reads the next server frame, failing after the timeout or if
+// the server alerted/terminated.
+func (c *SpeakerClient) Await(timeout time.Duration) (Frame, error) {
+	if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return Frame{}, err
+	}
+	defer func() { _ = c.conn.SetReadDeadline(time.Time{}) }()
+	rec, err := pcap.ReadRecord(c.conn)
+	if err != nil {
+		return Frame{}, fmt.Errorf("emul: await: %w", err)
+	}
+	if rec.Type == pcap.RecordAlert {
+		return Frame{}, ErrSessionClosed
+	}
+	return decodeFrame(rec.Payload)
+}

@@ -1,0 +1,211 @@
+package emul
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"voiceguard/internal/proxy"
+)
+
+func startServer(t *testing.T) *CloudServer {
+	t.Helper()
+	s, err := NewCloudServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestDirectCommandRoundTrip(t *testing.T) {
+	s := startServer(t)
+	c, err := DialSpeaker(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.SendCommand(5, 1000); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Await(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgResponse {
+		t.Fatalf("response type = %c, want %c", f.Type, MsgResponse)
+	}
+	if s.CompletedCommands() != 1 {
+		t.Fatalf("server commands = %d, want 1", s.CompletedCommands())
+	}
+}
+
+func TestHeartbeatAck(t *testing.T) {
+	s := startServer(t)
+	c, err := DialSpeaker(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.SendHeartbeat(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := c.Await(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != MsgAck {
+			t.Fatalf("heartbeat reply = %c, want %c", f.Type, MsgAck)
+		}
+	}
+}
+
+// proxied wires a speaker through the transparent proxy to the cloud,
+// returning the client, the cloud, and a channel delivering the
+// session once the first chunk is observed and held.
+func proxied(t *testing.T) (*SpeakerClient, *CloudServer, chan *proxy.Session) {
+	t.Helper()
+	s := startServer(t)
+	held := make(chan *proxy.Session, 1)
+	var once sync.Once
+	p, err := proxy.NewTCP("127.0.0.1:0",
+		func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", s.Addr())
+		},
+		proxy.WithTap(func(sess *proxy.Session, data []byte) {
+			once.Do(func() {
+				sess.Hold()
+				held <- sess
+			})
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+
+	c, err := DialSpeaker(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c, s, held
+}
+
+func TestFig4CaseII_HoldThenRelease(t *testing.T) {
+	c, s, held := proxied(t)
+
+	if err := c.SendCommand(3, 800); err != nil {
+		t.Fatal(err)
+	}
+	sess := <-held
+	// Hold for the paper's 1.5 seconds (shortened), then release.
+	time.Sleep(150 * time.Millisecond)
+	if s.CompletedCommands() != 0 {
+		t.Fatal("command reached the cloud during the hold")
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Await(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgResponse {
+		t.Fatalf("after release got %c", f.Type)
+	}
+	if s.CompletedCommands() != 1 {
+		t.Fatalf("commands = %d, want 1", s.CompletedCommands())
+	}
+}
+
+func TestFig4CaseIII_HoldThenDrop(t *testing.T) {
+	c, s, held := proxied(t)
+
+	if err := c.SendCommand(3, 800); err != nil {
+		t.Fatal(err)
+	}
+	sess := <-held
+	waitQueued(t, sess)
+	sess.Drop()
+
+	// The speaker keeps talking; the next record's sequence number no
+	// longer matches, so the cloud alerts and closes.
+	if err := c.SendHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Await(3 * time.Second)
+	if !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("await after drop = %v, want ErrSessionClosed", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.SequenceAborts() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.SequenceAborts() != 1 {
+		t.Fatalf("sequence aborts = %d, want 1", s.SequenceAborts())
+	}
+	if s.CompletedCommands() != 0 {
+		t.Fatal("dropped command still completed")
+	}
+}
+
+func waitQueued(t *testing.T, sess *proxy.Session) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for sess.QueuedBytes() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sess.QueuedBytes() == 0 {
+		t.Fatal("nothing queued")
+	}
+}
+
+func TestSequenceGapDetectedWithoutProxy(t *testing.T) {
+	s := startServer(t)
+	c, err := DialSpeaker(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Skip a sequence number manually.
+	c.seq = 5
+	if err := c.SendHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(2 * time.Second); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("err = %v, want ErrSessionClosed", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := Frame{Seq: 42, Type: MsgCommand, Body: []byte("audio")}
+	out, err := decodeFrame(encodeFrame(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.Type != in.Type || string(out.Body) != string(in.Body) {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestDecodeFrameTooShort(t *testing.T) {
+	if _, err := decodeFrame([]byte{1, 2}); err == nil {
+		t.Fatal("accepted short frame")
+	}
+}
+
+func TestServerCloseIsIdempotent(t *testing.T) {
+	s := startServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

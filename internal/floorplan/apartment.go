@@ -1,0 +1,88 @@
+package floorplan
+
+import "voiceguard/internal/geom"
+
+// Apartment returns the second testbed: a single-floor two-bedroom
+// apartment with 54 measurement locations (Fig. 8b / 9b).
+//
+// Layout, 10 m × 8 m:
+//
+//	living    (0,0)-(5,5)    locations 1-15, speaker spot A
+//	kitchen   (5,0)-(10,3)   locations 16-23
+//	bathroom  (5,3)-(7,5)    locations 24-27
+//	hall      (7,3)-(10,5)   locations 28-32
+//	bedroom1  (0,5)-(5,8)    locations 33-44, speaker spot B
+//	bedroom2  (5,5)-(10,8)   locations 45-54
+func Apartment() *Plan {
+	p := &Plan{
+		Name:        "apartment",
+		Floors:      1,
+		FloorHeight: 3.0,
+		Rooms: []Room{
+			{Name: "living", Floor: 0, Poly: geom.Rect(0, 0, 5, 5)},
+			{Name: "kitchen", Floor: 0, Poly: geom.Rect(5, 0, 10, 3)},
+			{Name: "bathroom", Floor: 0, Poly: geom.Rect(5, 3, 7, 5)},
+			{Name: "hall", Floor: 0, Poly: geom.Rect(7, 3, 10, 5), Corridor: true},
+			{Name: "bedroom1", Floor: 0, Poly: geom.Rect(0, 5, 5, 8)},
+			{Name: "bedroom2", Floor: 0, Poly: geom.Rect(5, 5, 10, 8)},
+		},
+		Walls: map[int][]Wall{
+			0: {
+				// Exterior shell.
+				wall(geom.Seg(0, 0, 10, 0), fullWallLoss),
+				wall(geom.Seg(10, 0, 10, 8), fullWallLoss),
+				wall(geom.Seg(10, 8, 0, 8), fullWallLoss),
+				wall(geom.Seg(0, 8, 0, 0), fullWallLoss),
+				// Living / kitchen, doorway at y in (1, 2).
+				wall(geom.Seg(5, 0, 5, 1), fullWallLoss),
+				wall(geom.Seg(5, 2, 5, 3), fullWallLoss),
+				// Living / bathroom, doorway at y in (3.6, 4.4).
+				wall(geom.Seg(5, 3, 5, 3.6), fullWallLoss),
+				wall(geom.Seg(5, 4.4, 5, 5), fullWallLoss),
+				// Living / bedroom1, doorway at x in (3.5, 4.5).
+				wall(geom.Seg(0, 5, 3.5, 5), fullWallLoss),
+				wall(geom.Seg(4.5, 5, 5, 5), fullWallLoss),
+				// Kitchen / bathroom (solid).
+				wall(geom.Seg(5, 3, 7, 3), fullWallLoss),
+				// Kitchen / hall, doorway at x in (8, 9).
+				wall(geom.Seg(7, 3, 8, 3), fullWallLoss),
+				wall(geom.Seg(9, 3, 10, 3), fullWallLoss),
+				// Bathroom / hall, doorway at y in (3.7, 4.3).
+				wall(geom.Seg(7, 3, 7, 3.7), fullWallLoss),
+				wall(geom.Seg(7, 4.3, 7, 5), fullWallLoss),
+				// Bedroom1 / bedroom2 (solid).
+				wall(geom.Seg(5, 5, 5, 8), fullWallLoss),
+				// Hall / bedroom2, doorway at x in (8, 9).
+				wall(geom.Seg(5, 5, 8, 5), fullWallLoss),
+				wall(geom.Seg(9, 5, 10, 5), fullWallLoss),
+			},
+		},
+		Spots: []Spot{
+			{Name: "A", Room: "living", Pos: Position{Floor: 0, At: geom.Point{X: 1.0, Y: 2.5}}},
+			{Name: "B", Room: "bedroom1", Pos: Position{Floor: 0, At: geom.Point{X: 2.5, Y: 6.5}}},
+		},
+	}
+
+	id := 1
+	id = addGrid(p, id, "living", 0, 0, 0, 5, 5, 3, 5)                                    // 1-15
+	id = addGrid(p, id, "kitchen", 0, 5, 0, 10, 3, 4, 2)                                  // 16-23
+	id = addGrid(p, id, "bathroom", 0, 5, 3, 7, 5, 2, 2)                                  // 24-27
+	id = addLine(p, id, "hall", 0, geom.Point{X: 7.5, Y: 4}, geom.Point{X: 9.5, Y: 4}, 5) // 28-32
+	id = addGrid(p, id, "bedroom1", 0, 0, 5, 5, 8, 4, 3)                                  // 33-44
+	id = addGrid(p, id, "bedroom2", 0, 5, 5, 10, 8, 5, 2)                                 // 45-54
+	_ = id
+
+	// Representative in-apartment walks used by ablation and mobility
+	// tests (the Fig. 10 trace experiments are house-specific).
+	p.Routes = map[string]Route{
+		"living-to-bedroom2": {Name: "living-to-bedroom2", Waypoints: []Position{
+			{Floor: 0, At: geom.Point{X: 1, Y: 2.5}},
+			{Floor: 0, At: geom.Point{X: 4, Y: 5}},
+			{Floor: 0, At: geom.Point{X: 4, Y: 6}},
+			{Floor: 0, At: geom.Point{X: 8.5, Y: 5.2}},
+			{Floor: 0, At: geom.Point{X: 8.5, Y: 7}},
+		}},
+	}
+
+	return p.finish()
+}

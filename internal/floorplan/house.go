@@ -1,0 +1,178 @@
+package floorplan
+
+import "voiceguard/internal/geom"
+
+// Wall attenuation on the paper's compressed RSSI scale.
+const (
+	fullWallLoss  = 3.0 // interior/exterior wall
+	partitionLoss = 2.5 // office cubicle partition
+)
+
+func wall(seg geom.Segment, loss float64) Wall { return Wall{Seg: seg, Loss: loss} }
+
+// House returns the first testbed: a two-floor house with 78
+// measurement locations (Fig. 8a / 9a).
+//
+// Ground floor (floor 0), 12 m × 10 m:
+//
+//	living room  (0,0)-(6,6)    locations 1-24, speaker spot A
+//	hallway      (6,0)-(8,10)   locations 25-27 (line of sight through
+//	                            the living-room doorway) and 42-44
+//	                            (bottom of the stairs)
+//	kitchen      (8,0)-(12,6)   locations 28-36, speaker spot B
+//	restroom     (8,6)-(12,10)  locations 37-41
+//	garage       (0,6)-(6,10)   no locations
+//
+// Upper floor (floor 1):
+//
+//	upper hall   (6,0)-(8,10)   locations 45-48 (top of the stairs)
+//	                            and 49-54
+//	master       (0,0)-(6,6)    locations 55-66 — the room directly
+//	                            above the speaker; the cluster nearest
+//	                            the speaker bleeds through the floor
+//	                            (the paper's #55/#56/#59-#62 case)
+//	bedroom 2    (8,0)-(12,6)   locations 67-75
+//	bathroom 2   (8,6)-(12,10)  locations 76-78
+//
+// The stairs run along the hallway from (7, 6) up to (7, 5.5) on the
+// upper floor; the paper's Up trace #42→#48 and Down trace #48→#42 map
+// onto the "up"/"down" routes, and Routes 2 and 3 reproduce the
+// confusable in-floor walks of Fig. 10.
+func House() *Plan {
+	p := &Plan{
+		Name:        "house",
+		Floors:      2,
+		FloorHeight: 3.0,
+		Rooms: []Room{
+			{Name: "living", Floor: 0, Poly: geom.Rect(0, 0, 6, 6)},
+			{Name: "hallway", Floor: 0, Poly: geom.Rect(6, 0, 8, 10), Corridor: true},
+			{Name: "kitchen", Floor: 0, Poly: geom.Rect(8, 0, 12, 6)},
+			{Name: "restroom", Floor: 0, Poly: geom.Rect(8, 6, 12, 10)},
+			{Name: "garage", Floor: 0, Poly: geom.Rect(0, 6, 6, 10)},
+			{Name: "upper-hall", Floor: 1, Poly: geom.Rect(6, 0, 8, 10), Corridor: true},
+			{Name: "master", Floor: 1, Poly: geom.Rect(0, 0, 6, 6)},
+			{Name: "bedroom2", Floor: 1, Poly: geom.Rect(8, 0, 12, 6)},
+			{Name: "bathroom2", Floor: 1, Poly: geom.Rect(8, 6, 12, 10)},
+			{Name: "storage2", Floor: 1, Poly: geom.Rect(0, 6, 6, 10)},
+		},
+		Walls: map[int][]Wall{
+			0: {
+				// Exterior shell.
+				wall(geom.Seg(0, 0, 12, 0), fullWallLoss),
+				wall(geom.Seg(12, 0, 12, 10), fullWallLoss),
+				wall(geom.Seg(12, 10, 0, 10), fullWallLoss),
+				wall(geom.Seg(0, 10, 0, 0), fullWallLoss),
+				// Living / hallway, doorway at y in (2, 4).
+				wall(geom.Seg(6, 0, 6, 2), fullWallLoss),
+				wall(geom.Seg(6, 4, 6, 10), fullWallLoss),
+				// Hallway / kitchen, doorway at y in (0.5, 1.5) — offset
+				// from the living-room doorway so the two doorways do
+				// not align into a sight line.
+				wall(geom.Seg(8, 0, 8, 0.5), fullWallLoss),
+				wall(geom.Seg(8, 1.5, 8, 6), fullWallLoss),
+				// Hallway / restroom, doorway at y in (7.5, 8.5).
+				wall(geom.Seg(8, 6, 8, 7.5), fullWallLoss),
+				wall(geom.Seg(8, 8.5, 8, 10), fullWallLoss),
+				// Kitchen / restroom, doorway at x in (10, 11).
+				wall(geom.Seg(8, 6, 10, 6), fullWallLoss),
+				wall(geom.Seg(11, 6, 12, 6), fullWallLoss),
+				// Living / garage, doorway at x in (2.5, 3.5).
+				wall(geom.Seg(0, 6, 2.5, 6), fullWallLoss),
+				wall(geom.Seg(3.5, 6, 6, 6), fullWallLoss),
+			},
+			1: {
+				wall(geom.Seg(0, 0, 12, 0), fullWallLoss),
+				wall(geom.Seg(12, 0, 12, 10), fullWallLoss),
+				wall(geom.Seg(12, 10, 0, 10), fullWallLoss),
+				wall(geom.Seg(0, 10, 0, 0), fullWallLoss),
+				// Master / upper hall, doorway at y in (2, 4).
+				wall(geom.Seg(6, 0, 6, 2), fullWallLoss),
+				wall(geom.Seg(6, 4, 6, 10), fullWallLoss),
+				// Upper hall / bedroom 2, doorway at y in (2.5, 3.5).
+				wall(geom.Seg(8, 0, 8, 2.5), fullWallLoss),
+				wall(geom.Seg(8, 3.5, 8, 6), fullWallLoss),
+				// Upper hall / bathroom 2, doorway at y in (7.5, 8.5).
+				wall(geom.Seg(8, 6, 8, 7.5), fullWallLoss),
+				wall(geom.Seg(8, 8.5, 8, 10), fullWallLoss),
+				// Bedroom 2 / bathroom 2, doorway at x in (10, 11).
+				wall(geom.Seg(8, 6, 10, 6), fullWallLoss),
+				wall(geom.Seg(11, 6, 12, 6), fullWallLoss),
+				// Storage / master.
+				wall(geom.Seg(0, 6, 2.5, 6), fullWallLoss),
+				wall(geom.Seg(3.5, 6, 6, 6), fullWallLoss),
+			},
+		},
+		Spots: []Spot{
+			{Name: "A", Room: "living", Pos: Position{Floor: 0, At: geom.Point{X: 2.0, Y: 2.25}}},
+			{Name: "B", Room: "kitchen", Pos: Position{Floor: 0, At: geom.Point{X: 10.0, Y: 2.5}}},
+		},
+		// The stairs start beside the living-room doorway (line of
+		// sight to the speaker, strong RSSI) and climb north, ending
+		// deep in the upper hall — so an Up walk produces the paper's
+		// monotonically decreasing RSSI trace (#42 to #48) and a Down
+		// walk the mirror image.
+		Stairs: &Stairs{
+			BottomFloor: 0,
+			TopFloor:    1,
+			Path: []Position{
+				{Floor: 0, At: geom.Point{X: 7, Y: 3.5}},
+				{Floor: 0, At: geom.Point{X: 7, Y: 5.5}},
+				{Floor: 0, At: geom.Point{X: 7, Y: 7.5}},
+				{Floor: 1, At: geom.Point{X: 7, Y: 7.5}},
+				{Floor: 1, At: geom.Point{X: 7, Y: 4.5}},
+			},
+		},
+	}
+
+	id := 1
+	// Living room: locations 1-24 in a 4×6 grid.
+	id = addGrid(p, id, "living", 0, 0, 0, 6, 6, 4, 6)
+	// Hallway line-of-sight locations 25-27, aligned with the living
+	// room doorway.
+	id = addLine(p, id, "hallway", 0, geom.Point{X: 7, Y: 2.3}, geom.Point{X: 7, Y: 3.7}, 3)
+	// Kitchen 28-36.
+	id = addGrid(p, id, "kitchen", 0, 8, 0, 12, 6, 3, 3)
+	// Restroom 37-41.
+	id = addLine(p, id, "restroom", 0, geom.Point{X: 8.8, Y: 7}, geom.Point{X: 11.2, Y: 9}, 5)
+	// Stairs bottom 42-44.
+	id = addLine(p, id, "hallway", 0, geom.Point{X: 7, Y: 3.5}, geom.Point{X: 7, Y: 7.5}, 3)
+	// Stairs top / upper-hall landing 45-48 (#48 is the end of an Up
+	// walk).
+	id = addLine(p, id, "upper-hall", 1, geom.Point{X: 7, Y: 7.5}, geom.Point{X: 7, Y: 4.5}, 4)
+	// Upper hall 49-54.
+	id = addLine(p, id, "upper-hall", 1, geom.Point{X: 7, Y: 3.8}, geom.Point{X: 7, Y: 0.8}, 6)
+	// Master bedroom 55-66 (3×4 grid); the subset nearest the speaker
+	// below exhibits the paper's floor bleed-through.
+	id = addGrid(p, id, "master", 1, 0, 0, 6, 6, 3, 4)
+	// Bedroom 2: 67-75.
+	id = addGrid(p, id, "bedroom2", 1, 8, 0, 12, 6, 3, 3)
+	// Bathroom 2: 76-78.
+	id = addLine(p, id, "bathroom2", 1, geom.Point{X: 9, Y: 7}, geom.Point{X: 11, Y: 9}, 3)
+	_ = id
+
+	stairsUp := Route{Name: "up", Waypoints: p.Stairs.Path}
+	p.Routes = map[string]Route{
+		"up":   stairsUp,
+		"down": stairsUp.Reversed(),
+		// Route 2 (paper): owner walks from location #21 (living room)
+		// to #37 (restroom) — RSSI decreases like an Up trace.
+		"route2": {Name: "route2", Waypoints: []Position{
+			{Floor: 0, At: geom.Point{X: 0.75, Y: 5.5}},
+			{Floor: 0, At: geom.Point{X: 4.0, Y: 3.0}},
+			{Floor: 0, At: geom.Point{X: 7.0, Y: 3.0}},
+			{Floor: 0, At: geom.Point{X: 7.0, Y: 8.0}},
+			{Floor: 0, At: geom.Point{X: 8.8, Y: 7.0}},
+		}},
+		// Route 3 (paper): owner walks from location #48 (top of the
+		// stairs) to #59 (master bedroom, above the speaker) — RSSI
+		// increases like a Down trace.
+		"route3": {Name: "route3", Waypoints: []Position{
+			{Floor: 1, At: geom.Point{X: 7.0, Y: 4.5}},
+			{Floor: 1, At: geom.Point{X: 7.0, Y: 3.0}},
+			{Floor: 1, At: geom.Point{X: 6.2, Y: 3.0}},
+			{Floor: 1, At: geom.Point{X: 3.0, Y: 2.25}},
+		}},
+	}
+
+	return p.finish()
+}

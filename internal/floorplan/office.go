@@ -1,0 +1,85 @@
+package floorplan
+
+import "voiceguard/internal/geom"
+
+// Office returns the third testbed: a large single-floor office with
+// 70 measurement locations (Fig. 8c / 9c). The paper marks a "red
+// box" around the speaker as the legitimate command area; cubicle
+// partitions (lower attenuation than full walls, but view-blocking)
+// separate the speaker's pod from the rest of the open area.
+//
+// Layout, 20 m × 12 m:
+//
+//	open        (0,0)-(14,12)   locations 1-48, speaker spots A and B
+//	conference  (14,0)-(20,6)   locations 49-60
+//	break       (14,6)-(20,12)  locations 61-70
+//
+// Cubicle partition banks run along y=2 and y=10 (west block), x=7,
+// and x=10.5.
+func Office() *Plan {
+	p := &Plan{
+		Name:        "office",
+		Floors:      1,
+		FloorHeight: 3.0,
+		Rooms: []Room{
+			{Name: "open", Floor: 0, Poly: geom.Rect(0, 0, 14, 12)},
+			{Name: "conference", Floor: 0, Poly: geom.Rect(14, 0, 20, 6)},
+			{Name: "break", Floor: 0, Poly: geom.Rect(14, 6, 20, 12)},
+		},
+		Walls: map[int][]Wall{
+			0: {
+				// Exterior shell.
+				wall(geom.Seg(0, 0, 20, 0), fullWallLoss),
+				wall(geom.Seg(20, 0, 20, 12), fullWallLoss),
+				wall(geom.Seg(20, 12, 0, 12), fullWallLoss),
+				wall(geom.Seg(0, 12, 0, 0), fullWallLoss),
+				// Open / conference, door at y in (2.5, 3.5).
+				wall(geom.Seg(14, 0, 14, 2.5), fullWallLoss),
+				wall(geom.Seg(14, 3.5, 14, 6), fullWallLoss),
+				// Open / break, door at y in (8.5, 9.5).
+				wall(geom.Seg(14, 6, 14, 8.5), fullWallLoss),
+				wall(geom.Seg(14, 9.5, 14, 12), fullWallLoss),
+				// Conference / break (solid).
+				wall(geom.Seg(14, 6, 20, 6), fullWallLoss),
+				// Cubicle partitions around the west pod (spot A's
+				// "red box" sits between them).
+				wall(geom.Seg(0, 2, 7, 2), partitionLoss),
+				wall(geom.Seg(0, 10, 7, 10), partitionLoss),
+				wall(geom.Seg(7, 1, 7, 8), partitionLoss),
+				wall(geom.Seg(7, 8.5, 7, 11), partitionLoss),
+				// Second partition bank.
+				wall(geom.Seg(10.5, 0.5, 10.5, 11.5), partitionLoss),
+			},
+		},
+		Spots: []Spot{
+			{
+				Name: "A", Room: "open",
+				Pos:       Position{Floor: 0, At: geom.Point{X: 3.0, Y: 6.0}},
+				LegitArea: geom.Rect(0, 2.5, 7, 9.5),
+			},
+			{
+				Name: "B", Room: "open",
+				Pos:       Position{Floor: 0, At: geom.Point{X: 8.7, Y: 6.0}},
+				LegitArea: geom.Rect(7.2, 2.5, 10.2, 9.5),
+			},
+		},
+	}
+
+	id := 1
+	id = addGrid(p, id, "open", 0, 0, 0, 14, 12, 8, 6)       // 1-48
+	id = addGrid(p, id, "conference", 0, 14, 0, 20, 6, 4, 3) // 49-60
+	id = addGrid(p, id, "break", 0, 14, 6, 20, 12, 5, 2)     // 61-70
+	_ = id
+
+	p.Routes = map[string]Route{
+		"pod-to-break": {Name: "pod-to-break", Waypoints: []Position{
+			{Floor: 0, At: geom.Point{X: 3, Y: 6}},
+			{Floor: 0, At: geom.Point{X: 6.5, Y: 11.5}},
+			{Floor: 0, At: geom.Point{X: 13, Y: 11.5}},
+			{Floor: 0, At: geom.Point{X: 14.5, Y: 9}},
+			{Floor: 0, At: geom.Point{X: 17, Y: 9}},
+		}},
+	}
+
+	return p.finish()
+}

@@ -1,0 +1,242 @@
+// Package guard wires VoiceGuard's two modules together (Fig. 2): the
+// Traffic Processing Module (the recognize package's streaming
+// recognizer plus the hold bookkeeping of the Traffic Handler) and the
+// Decision Module (the decision package). It consumes the speaker's
+// packet stream on the simulated clock, holds recognized voice-command
+// traffic, queries the Decision Module, and releases or drops the held
+// packets when the verdict arrives.
+package guard
+
+import (
+	"time"
+
+	"voiceguard/internal/decision"
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/recognize"
+	"voiceguard/internal/simtime"
+)
+
+// EventKind classifies a completed traffic-handling episode.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventCommand: the spike was recognized as a voice command and
+	// went through a Decision Module query.
+	EventCommand EventKind = iota + 1
+	// EventNonCommand: the spike was held briefly and released once
+	// classification showed it was not a command (e.g. an Echo
+	// response spike).
+	EventNonCommand
+)
+
+// Event records one handled spike.
+type Event struct {
+	Kind        EventKind
+	SpikeStart  time.Time
+	QueryStart  time.Time       // when the Decision Module was asked (EventCommand)
+	DecisionAt  time.Time       // when the verdict arrived (EventCommand)
+	Verdict     decision.Result // EventCommand only
+	Released    bool            // held traffic forwarded to the cloud
+	HeldPackets int
+}
+
+// HoldDuration returns how long the spike's traffic was held.
+func (e Event) HoldDuration() time.Duration {
+	switch e.Kind {
+	case EventCommand:
+		return e.DecisionAt.Sub(e.SpikeStart)
+	default:
+		return 0
+	}
+}
+
+// VerificationTime returns the RSSI-query latency (Fig. 7): from the
+// moment the spike started being held to the verdict.
+func (e Event) VerificationTime() time.Duration {
+	return e.DecisionAt.Sub(e.SpikeStart)
+}
+
+// Guard is one speaker's VoiceGuard instance.
+type Guard struct {
+	clock      *simtime.Sim
+	recognizer *recognize.Recognizer
+	method     decision.Method
+
+	// DispatchDelay models per-speaker overhead between recognizing a
+	// command and the RSSI query being issued (the Google Home Mini's
+	// on-demand flow setup makes its queries slightly slower, matching
+	// Fig. 7's ordering).
+	DispatchDelay time.Duration
+
+	speaker string
+
+	holding     bool
+	spikeStart  time.Time
+	heldPackets int
+	pending     bool
+	idleTimer   *simtime.Event
+
+	events  []Event
+	onEvent func(Event)
+}
+
+// New returns a guard for one speaker.
+func New(clock *simtime.Sim, rec *recognize.Recognizer, method decision.Method, speaker string) *Guard {
+	return &Guard{
+		clock:      clock,
+		recognizer: rec,
+		method:     method,
+		speaker:    speaker,
+	}
+}
+
+// OnEvent registers a callback invoked for every completed event.
+func (g *Guard) OnEvent(fn func(Event)) { g.onEvent = fn }
+
+// Events returns a copy of all recorded events.
+func (g *Guard) Events() []Event {
+	return append([]Event(nil), g.events...)
+}
+
+// Feed processes one captured packet. Callers must advance the
+// simulated clock to the packet's timestamp before feeding it, so
+// pending decision callbacks interleave correctly with traffic.
+func (g *Guard) Feed(p pcap.Packet) {
+	switch g.recognizer.Feed(p) {
+	case recognize.ActionHold:
+		g.holding = true
+		g.spikeStart = p.Time
+		g.heldPackets = 1
+		g.armIdleTimer(p.Time)
+	case recognize.ActionNone:
+		if g.holding {
+			g.heldPackets++
+			g.armIdleTimer(p.Time)
+		}
+	case recognize.ActionCommand:
+		if !g.holding {
+			// GHM-style immediate recognition: the spike starts and
+			// is recognized on the same packet.
+			g.holding = true
+			g.spikeStart = p.Time
+			g.heldPackets = 0
+		}
+		g.heldPackets++
+		g.disarmIdleTimer()
+		g.queryDecision()
+	case recognize.ActionRelease:
+		g.heldPackets++
+		g.finishNonCommand()
+	}
+}
+
+// armIdleTimer (re)schedules spike finalisation one idle gap after the
+// latest packet.
+func (g *Guard) armIdleTimer(last time.Time) {
+	g.disarmIdleTimer()
+	g.idleTimer = g.clock.Schedule(last.Add(g.recognizer.IdleGap), func() {
+		g.idleTimer = nil
+		if g.recognizer.EndSpike() == recognize.ActionRelease {
+			g.finishNonCommand()
+		}
+	})
+}
+
+func (g *Guard) disarmIdleTimer() {
+	if g.idleTimer != nil {
+		g.idleTimer.Cancel()
+		g.idleTimer = nil
+	}
+}
+
+// queryDecision starts the Decision Module check after the dispatch
+// delay.
+func (g *Guard) queryDecision() {
+	if g.pending {
+		return
+	}
+	g.pending = true
+	spikeStart := g.spikeStart
+	start := func() {
+		queryStart := g.clock.Now()
+		g.method.Check(decision.Request{At: queryStart, Speaker: g.speaker}, func(r decision.Result) {
+			g.pending = false
+			g.holding = false
+			ev := Event{
+				Kind:        EventCommand,
+				SpikeStart:  spikeStart,
+				QueryStart:  queryStart,
+				DecisionAt:  r.At,
+				Verdict:     r,
+				Released:    r.Legitimate,
+				HeldPackets: g.heldPackets,
+			}
+			g.record(ev)
+		})
+	}
+	if g.DispatchDelay > 0 {
+		g.clock.After(g.DispatchDelay, start)
+		return
+	}
+	start()
+}
+
+// finishNonCommand completes a held spike that turned out not to be a
+// command.
+func (g *Guard) finishNonCommand() {
+	if !g.holding {
+		return
+	}
+	g.holding = false
+	g.record(Event{
+		Kind:        EventNonCommand,
+		SpikeStart:  g.spikeStart,
+		Released:    true,
+		HeldPackets: g.heldPackets,
+	})
+}
+
+func (g *Guard) record(ev Event) {
+	g.events = append(g.events, ev)
+	if g.onEvent != nil {
+		g.onEvent(ev)
+	}
+}
+
+// Router dispatches packets to per-speaker guards by the speaker's IP
+// address — the paper's multi-speaker deployment identifies the
+// speaker in use by its unique IP (§V).
+type Router struct {
+	guards map[string]*Guard
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{guards: make(map[string]*Guard)}
+}
+
+// Add registers a guard for a speaker IP.
+func (r *Router) Add(speakerIP string, g *Guard) { r.guards[speakerIP] = g }
+
+// Guard returns the guard for a speaker IP.
+func (r *Router) Guard(speakerIP string) (*Guard, bool) {
+	g, ok := r.guards[speakerIP]
+	return g, ok
+}
+
+// Feed routes one packet to the guard of its source speaker, if any.
+// Packets from unknown hosts (phones, laptops) are ignored, but every
+// registered guard's recognizer still sees DNS responses addressed to
+// its speaker.
+func (r *Router) Feed(p pcap.Packet) {
+	if g, ok := r.guards[p.SrcIP]; ok {
+		g.Feed(p)
+		return
+	}
+	// DNS responses flow router→speaker; deliver to the destination's
+	// guard so its tracker can learn new cloud addresses.
+	if g, ok := r.guards[p.DstIP]; ok {
+		g.Feed(p)
+	}
+}

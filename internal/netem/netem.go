@@ -1,0 +1,60 @@
+// Package netem applies network impairments — capture loss,
+// duplication, reordering, jitter — to packet streams. The guard taps
+// traffic passively (the paper runs Wireshark-style capture on the
+// proxy host), so capture loss and timing noise are the realistic
+// failure modes for the recognizer; this package quantifies its
+// robustness against them.
+package netem
+
+import (
+	"time"
+
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/rng"
+)
+
+// Config parameterises the impairment.
+type Config struct {
+	// LossRate drops each packet independently with this probability.
+	LossRate float64
+	// DuplicateRate re-delivers a packet immediately after itself.
+	DuplicateRate float64
+	// JitterMax shifts each packet's timestamp by uniform
+	// [0, JitterMax). Jitter can reorder packets whose spacing is
+	// smaller than the jitter magnitude.
+	JitterMax time.Duration
+	// SwapRate swaps each adjacent pair with this probability after
+	// jitter is applied — modelling capture-order inversions.
+	SwapRate float64
+}
+
+// Apply impairs the packet stream, returning a new time-sorted slice.
+// The input is not modified.
+func Apply(packets []pcap.Packet, cfg Config, src *rng.Source) []pcap.Packet {
+	out := make([]pcap.Packet, 0, len(packets))
+	for _, p := range packets {
+		if cfg.LossRate > 0 && src.Bool(cfg.LossRate) {
+			continue
+		}
+		q := p
+		if cfg.JitterMax > 0 {
+			q.Time = q.Time.Add(time.Duration(src.Uniform(0, float64(cfg.JitterMax))))
+		}
+		out = append(out, q)
+		if cfg.DuplicateRate > 0 && src.Bool(cfg.DuplicateRate) {
+			dup := q
+			dup.Time = dup.Time.Add(time.Millisecond)
+			out = append(out, dup)
+		}
+	}
+	pcap.SortByTime(out)
+	if cfg.SwapRate > 0 {
+		for i := 0; i+1 < len(out); i++ {
+			if src.Bool(cfg.SwapRate) {
+				out[i], out[i+1] = out[i+1], out[i]
+				out[i].Time, out[i+1].Time = out[i+1].Time, out[i].Time
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// DNSMessage is a minimal DNS message: one question, and for
+// responses one A record answering it. This is all the guard needs to
+// track the smart speakers' cloud-server addresses.
+type DNSMessage struct {
+	ID       uint16
+	Response bool
+	Name     string     // queried domain name
+	Addr     netip.Addr // answer address (responses only)
+}
+
+// DNSPort is the standard DNS server port.
+const DNSPort = 53
+
+const (
+	dnsFlagResponse  = 0x8000
+	dnsTypeA         = 1
+	dnsClassIN       = 1
+	dnsAnswerTTL     = 300
+	dnsHeaderLen     = 12
+	maxDNSLabelBytes = 63
+)
+
+// EncodeDNSQuery serialises an A query for name.
+func EncodeDNSQuery(id uint16, name string) ([]byte, error) {
+	q, err := encodeQuestion(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, dnsHeaderLen, dnsHeaderLen+len(q))
+	binary.BigEndian.PutUint16(out[0:2], id)
+	binary.BigEndian.PutUint16(out[4:6], 1) // QDCOUNT
+	return append(out, q...), nil
+}
+
+// EncodeDNSResponse serialises an A response answering name with addr.
+func EncodeDNSResponse(id uint16, name string, addr netip.Addr) ([]byte, error) {
+	if !addr.Is4() {
+		return nil, fmt.Errorf("pcap: DNS answer %v is not IPv4", addr)
+	}
+	q, err := encodeQuestion(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, dnsHeaderLen, dnsHeaderLen+len(q)+16)
+	binary.BigEndian.PutUint16(out[0:2], id)
+	binary.BigEndian.PutUint16(out[2:4], dnsFlagResponse)
+	binary.BigEndian.PutUint16(out[4:6], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(out[6:8], 1) // ANCOUNT
+	out = append(out, q...)
+
+	// Answer: compression pointer to the question name at offset 12.
+	out = append(out, 0xC0, dnsHeaderLen)
+	var rr [10]byte
+	binary.BigEndian.PutUint16(rr[0:2], dnsTypeA)
+	binary.BigEndian.PutUint16(rr[2:4], dnsClassIN)
+	binary.BigEndian.PutUint32(rr[4:8], dnsAnswerTTL)
+	binary.BigEndian.PutUint16(rr[8:10], 4)
+	out = append(out, rr[:]...)
+	ip := addr.As4()
+	return append(out, ip[:]...), nil
+}
+
+// encodeQuestion serialises the question section for an A/IN query.
+func encodeQuestion(name string) ([]byte, error) {
+	labels, err := encodeName(name)
+	if err != nil {
+		return nil, err
+	}
+	out := append(labels, 0, dnsTypeA, 0, dnsClassIN)
+	return out, nil
+}
+
+// encodeName serialises a domain name as length-prefixed labels.
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil, fmt.Errorf("pcap: empty DNS name")
+	}
+	var out []byte
+	for _, label := range strings.Split(name, ".") {
+		if label == "" || len(label) > maxDNSLabelBytes {
+			return nil, fmt.Errorf("pcap: invalid DNS label %q", label)
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+// ParseDNS parses a DNS message produced by the encoders above (one
+// question; responses carry one A answer).
+func ParseDNS(b []byte) (DNSMessage, error) {
+	var msg DNSMessage
+	if len(b) < dnsHeaderLen {
+		return msg, fmt.Errorf("pcap: DNS message too short (%d bytes)", len(b))
+	}
+	msg.ID = binary.BigEndian.Uint16(b[0:2])
+	msg.Response = binary.BigEndian.Uint16(b[2:4])&dnsFlagResponse != 0
+	ancount := binary.BigEndian.Uint16(b[6:8])
+
+	name, rest, err := parseName(b[dnsHeaderLen:])
+	if err != nil {
+		return msg, err
+	}
+	msg.Name = name
+	if len(rest) < 4 {
+		return msg, fmt.Errorf("pcap: truncated DNS question")
+	}
+	rest = rest[4:] // QTYPE + QCLASS
+
+	if msg.Response {
+		if ancount == 0 {
+			return msg, fmt.Errorf("pcap: DNS response with no answers")
+		}
+		// Answer name: compression pointer (2 bytes).
+		if len(rest) < 2+10+4 {
+			return msg, fmt.Errorf("pcap: truncated DNS answer")
+		}
+		rdlen := int(binary.BigEndian.Uint16(rest[10:12]))
+		if rdlen != 4 || len(rest) < 12+rdlen {
+			return msg, fmt.Errorf("pcap: unsupported DNS answer RDLENGTH %d", rdlen)
+		}
+		msg.Addr = netip.AddrFrom4([4]byte(rest[12:16]))
+	}
+	return msg, nil
+}
+
+// parseName decodes length-prefixed labels, returning the dotted name
+// and the remaining bytes.
+func parseName(b []byte) (string, []byte, error) {
+	var labels []string
+	for {
+		if len(b) == 0 {
+			return "", nil, fmt.Errorf("pcap: truncated DNS name")
+		}
+		n := int(b[0])
+		b = b[1:]
+		if n == 0 {
+			break
+		}
+		if n > maxDNSLabelBytes || len(b) < n {
+			return "", nil, fmt.Errorf("pcap: invalid DNS label length %d", n)
+		}
+		labels = append(labels, string(b[:n]))
+		b = b[n:]
+	}
+	if len(labels) == 0 {
+		return "", nil, fmt.Errorf("pcap: empty DNS name")
+	}
+	return strings.Join(labels, "."), b, nil
+}
+
+// IsDNSQuery reports whether the packet looks like a DNS query to the
+// resolver port and returns the parsed message.
+func IsDNSQuery(p Packet) (DNSMessage, bool) {
+	if p.Proto != UDP || p.DstPort != DNSPort {
+		return DNSMessage{}, false
+	}
+	msg, err := ParseDNS(p.Payload)
+	if err != nil || msg.Response {
+		return DNSMessage{}, false
+	}
+	return msg, true
+}
+
+// IsDNSResponse reports whether the packet looks like a DNS response
+// from the resolver port and returns the parsed message.
+func IsDNSResponse(p Packet) (DNSMessage, bool) {
+	if p.Proto != UDP || p.SrcPort != DNSPort {
+		return DNSMessage{}, false
+	}
+	msg, err := ParseDNS(p.Payload)
+	if err != nil || !msg.Response {
+		return DNSMessage{}, false
+	}
+	return msg, true
+}

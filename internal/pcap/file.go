@@ -1,0 +1,171 @@
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Capture file format: a magic header followed by length-prefixed
+// packet records. The format is deliberately minimal — enough to dump
+// a guard's view of the network for offline analysis and to replay it
+// in tests — not a libpcap replacement.
+//
+//	header: "VGC1"
+//	packet: unixNano int64 | proto uint8 |
+//	        srcIP str | srcPort uint16 | dstIP str | dstPort uint16 |
+//	        len uint32 | payloadLen uint32 | payload bytes
+//	str:    uint8 length-prefixed UTF-8
+var captureMagic = [4]byte{'V', 'G', 'C', '1'}
+
+// WriteCapture serialises packets to w.
+func WriteCapture(w io.Writer, packets []Packet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(captureMagic[:]); err != nil {
+		return fmt.Errorf("pcap: write magic: %w", err)
+	}
+	for i, p := range packets {
+		if err := writePacket(bw, p); err != nil {
+			return fmt.Errorf("pcap: write packet %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCapture parses a capture written by WriteCapture.
+func ReadCapture(r io.Reader) ([]Packet, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("pcap: read magic: %w", err)
+	}
+	if magic != captureMagic {
+		return nil, fmt.Errorf("pcap: bad capture magic %q", magic[:])
+	}
+	var packets []Packet
+	for {
+		p, err := readPacket(br)
+		if err == io.EOF {
+			return packets, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pcap: packet %d: %w", len(packets), err)
+		}
+		packets = append(packets, p)
+	}
+}
+
+func writePacket(w *bufio.Writer, p Packet) error {
+	if err := binary.Write(w, binary.BigEndian, p.Time.UnixNano()); err != nil {
+		return err
+	}
+	if err := w.WriteByte(byte(p.Proto)); err != nil {
+		return err
+	}
+	if err := writeString(w, p.SrcIP); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint16(p.SrcPort)); err != nil {
+		return err
+	}
+	if err := writeString(w, p.DstIP); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint16(p.DstPort)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(p.Len)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(p.Payload))); err != nil {
+		return err
+	}
+	_, err := w.Write(p.Payload)
+	return err
+}
+
+func readPacket(r *bufio.Reader) (Packet, error) {
+	var p Packet
+	var unixNano int64
+	if err := binary.Read(r, binary.BigEndian, &unixNano); err != nil {
+		return p, err // io.EOF at a record boundary is the normal end
+	}
+	p.Time = time.Unix(0, unixNano).UTC()
+
+	proto, err := r.ReadByte()
+	if err != nil {
+		return p, eofIsTruncated(err)
+	}
+	p.Proto = Protocol(proto)
+
+	if p.SrcIP, err = readString(r); err != nil {
+		return p, err
+	}
+	var port16 uint16
+	if err := binary.Read(r, binary.BigEndian, &port16); err != nil {
+		return p, eofIsTruncated(err)
+	}
+	p.SrcPort = int(port16)
+
+	if p.DstIP, err = readString(r); err != nil {
+		return p, err
+	}
+	if err := binary.Read(r, binary.BigEndian, &port16); err != nil {
+		return p, eofIsTruncated(err)
+	}
+	p.DstPort = int(port16)
+
+	var length, payloadLen uint32
+	if err := binary.Read(r, binary.BigEndian, &length); err != nil {
+		return p, eofIsTruncated(err)
+	}
+	p.Len = int(length)
+	if err := binary.Read(r, binary.BigEndian, &payloadLen); err != nil {
+		return p, eofIsTruncated(err)
+	}
+	const maxPayload = 1 << 20
+	if payloadLen > maxPayload {
+		return p, fmt.Errorf("payload %d exceeds limit", payloadLen)
+	}
+	if payloadLen > 0 {
+		p.Payload = make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, p.Payload); err != nil {
+			return p, eofIsTruncated(err)
+		}
+	}
+	return p, nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if len(s) > 255 {
+		return fmt.Errorf("string %q too long", s)
+	}
+	if err := w.WriteByte(byte(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := r.ReadByte()
+	if err != nil {
+		return "", eofIsTruncated(err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", eofIsTruncated(err)
+	}
+	return string(buf), nil
+}
+
+// eofIsTruncated converts mid-record EOFs into explicit truncation
+// errors so only record-boundary EOFs read as a clean end of file.
+func eofIsTruncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,119 @@
+// Package pcap provides the packet-capture model the Traffic
+// Processing Module operates on: packet records with timestamps and
+// payloads, flow grouping, a minimal TLS record codec (VoiceGuard
+// reads the unencrypted TLS record header to find Application Data
+// packets), a minimal DNS wire codec (VoiceGuard tracks DNS responses
+// to learn cloud-server addresses), and traffic-spike segmentation.
+package pcap
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Protocol is the transport protocol of a packet.
+type Protocol int
+
+// Transport protocols observed on the home network.
+const (
+	TCP Protocol = iota + 1
+	UDP
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case TCP:
+		return "TCP"
+	case UDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Packet is one captured packet. Len is the transport payload length
+// in bytes — the quantity the paper's packet-level signatures are
+// defined over. Payload optionally carries the bytes themselves (TLS
+// records or DNS messages) for header inspection.
+type Packet struct {
+	Time    time.Time
+	SrcIP   string
+	SrcPort int
+	DstIP   string
+	DstPort int
+	Proto   Protocol
+	Len     int
+	Payload []byte
+}
+
+// FlowKey identifies the packet's unidirectional flow.
+func (p Packet) FlowKey() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%s", p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, p.Proto)
+}
+
+// Src returns the packet's source endpoint as "ip:port".
+func (p Packet) Src() string { return fmt.Sprintf("%s:%d", p.SrcIP, p.SrcPort) }
+
+// Dst returns the packet's destination endpoint as "ip:port".
+func (p Packet) Dst() string { return fmt.Sprintf("%s:%d", p.DstIP, p.DstPort) }
+
+// Capture is an append-only packet log with simple filtering, playing
+// the role Wireshark plays in the paper's methodology.
+type Capture struct {
+	packets []Packet
+}
+
+// Add appends a packet to the capture.
+func (c *Capture) Add(p Packet) { c.packets = append(c.packets, p) }
+
+// Len returns the number of captured packets.
+func (c *Capture) Len() int { return len(c.packets) }
+
+// Packets returns a copy of all captured packets in capture order.
+func (c *Capture) Packets() []Packet {
+	return append([]Packet(nil), c.packets...)
+}
+
+// Filter returns the packets matching keep, in capture order.
+func (c *Capture) Filter(keep func(Packet) bool) []Packet {
+	var out []Packet
+	for _, p := range c.packets {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FromHost returns packets originating at the given IP — the paper
+// only analyses traffic originating from the smart speaker.
+func (c *Capture) FromHost(ip string) []Packet {
+	return c.Filter(func(p Packet) bool { return p.SrcIP == ip })
+}
+
+// Between returns packets exchanged between the two IPs, either
+// direction.
+func (c *Capture) Between(a, b string) []Packet {
+	return c.Filter(func(p Packet) bool {
+		return (p.SrcIP == a && p.DstIP == b) || (p.SrcIP == b && p.DstIP == a)
+	})
+}
+
+// SortByTime sorts packets by timestamp, preserving capture order for
+// equal timestamps.
+func SortByTime(packets []Packet) {
+	sort.SliceStable(packets, func(i, j int) bool {
+		return packets[i].Time.Before(packets[j].Time)
+	})
+}
+
+// Lengths extracts the payload lengths of the packets, in order.
+func Lengths(packets []Packet) []int {
+	out := make([]int, len(packets))
+	for i, p := range packets {
+		out[i] = p.Len
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package pcap
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 3, 1, 9, 0, 0, 0, time.UTC)
+
+func pkt(at time.Duration, src, dst string, length int) Packet {
+	return Packet{
+		Time:  t0.Add(at),
+		SrcIP: src, SrcPort: 40000,
+		DstIP: dst, DstPort: 443,
+		Proto: TCP,
+		Len:   length,
+	}
+}
+
+func TestFlowKeyDistinguishesDirections(t *testing.T) {
+	a := pkt(0, "10.0.0.2", "1.2.3.4", 100)
+	b := Packet{
+		Time:  t0,
+		SrcIP: "1.2.3.4", SrcPort: 443,
+		DstIP: "10.0.0.2", DstPort: 40000,
+		Proto: TCP, Len: 100,
+	}
+	if a.FlowKey() == b.FlowKey() {
+		t.Fatal("opposite directions share a flow key")
+	}
+}
+
+func TestCaptureFilters(t *testing.T) {
+	var c Capture
+	c.Add(pkt(0, "10.0.0.2", "1.2.3.4", 10))
+	c.Add(pkt(time.Second, "10.0.0.3", "1.2.3.4", 20))
+	c.Add(Packet{Time: t0, SrcIP: "1.2.3.4", SrcPort: 443, DstIP: "10.0.0.2", DstPort: 40000, Proto: TCP, Len: 30})
+
+	if got := len(c.FromHost("10.0.0.2")); got != 1 {
+		t.Fatalf("FromHost = %d packets, want 1", got)
+	}
+	if got := len(c.Between("10.0.0.2", "1.2.3.4")); got != 2 {
+		t.Fatalf("Between = %d packets, want 2", got)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestCapturePacketsIsACopy(t *testing.T) {
+	var c Capture
+	c.Add(pkt(0, "a", "b", 1))
+	got := c.Packets()
+	got[0].Len = 999
+	if c.Packets()[0].Len != 1 {
+		t.Fatal("Packets() exposed internal storage")
+	}
+}
+
+func TestSortByTimeStable(t *testing.T) {
+	packets := []Packet{
+		pkt(2*time.Second, "a", "b", 1),
+		pkt(0, "a", "b", 2),
+		pkt(0, "a", "b", 3),
+	}
+	SortByTime(packets)
+	if packets[0].Len != 2 || packets[1].Len != 3 || packets[2].Len != 1 {
+		t.Fatalf("sorted lengths = %v", Lengths(packets))
+	}
+}
+
+func TestLengths(t *testing.T) {
+	ps := []Packet{pkt(0, "a", "b", 63), pkt(0, "a", "b", 33)}
+	got := Lengths(ps)
+	if len(got) != 2 || got[0] != 63 || got[1] != 33 {
+		t.Fatalf("Lengths = %v", got)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if TCP.String() != "TCP" || UDP.String() != "UDP" {
+		t.Fatal("protocol names wrong")
+	}
+	if Protocol(9).String() == "TCP" {
+		t.Fatal("unknown protocol mislabelled")
+	}
+}
+
+func TestSpikesSplitOnIdleGap(t *testing.T) {
+	packets := []Packet{
+		pkt(0, "a", "b", 1),
+		pkt(300*time.Millisecond, "a", "b", 2),
+		pkt(600*time.Millisecond, "a", "b", 3),
+		// 2s gap.
+		pkt(2600*time.Millisecond, "a", "b", 4),
+		pkt(2800*time.Millisecond, "a", "b", 5),
+	}
+	spikes := Spikes(packets, time.Second)
+	if len(spikes) != 2 {
+		t.Fatalf("spikes = %d, want 2", len(spikes))
+	}
+	if len(spikes[0].Packets) != 3 || len(spikes[1].Packets) != 2 {
+		t.Fatalf("spike sizes = %d, %d", len(spikes[0].Packets), len(spikes[1].Packets))
+	}
+}
+
+func TestSpikesExactGapSplits(t *testing.T) {
+	packets := []Packet{
+		pkt(0, "a", "b", 1),
+		pkt(time.Second, "a", "b", 2), // exactly the gap: new spike
+	}
+	if got := len(Spikes(packets, time.Second)); got != 2 {
+		t.Fatalf("spikes = %d, want 2", got)
+	}
+}
+
+func TestSpikesEmptyInput(t *testing.T) {
+	if got := Spikes(nil, time.Second); got != nil {
+		t.Fatalf("Spikes(nil) = %v, want nil", got)
+	}
+}
+
+func TestSpikesDefaultGap(t *testing.T) {
+	packets := []Packet{
+		pkt(0, "a", "b", 1),
+		pkt(900*time.Millisecond, "a", "b", 2),
+		pkt(2*time.Second, "a", "b", 3),
+	}
+	spikes := Spikes(packets, 0)
+	if len(spikes) != 2 {
+		t.Fatalf("spikes with default gap = %d, want 2", len(spikes))
+	}
+}
+
+func TestSpikeAccessors(t *testing.T) {
+	packets := []Packet{
+		pkt(0, "a", "b", 10),
+		pkt(500*time.Millisecond, "a", "b", 20),
+	}
+	s := Spikes(packets, time.Second)[0]
+	if !s.Start().Equal(t0) {
+		t.Fatalf("start = %v", s.Start())
+	}
+	if s.Duration() != 500*time.Millisecond {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+	if got := s.Lengths(); got[0] != 10 || got[1] != 20 {
+		t.Fatalf("lengths = %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+package pcap
+
+import "time"
+
+// DefaultIdleGap separates traffic spikes: within a spike,
+// inter-packet intervals are below one second (paper §IV-B1); a
+// longer silence ends the spike.
+const DefaultIdleGap = time.Second
+
+// Spike is a burst of packets with no internal gap of idleGap or
+// more. The recognizer classifies each spike as command-phase or
+// response-phase traffic.
+type Spike struct {
+	Packets []Packet
+}
+
+// Start returns the timestamp of the spike's first packet.
+func (s Spike) Start() time.Time { return s.Packets[0].Time }
+
+// End returns the timestamp of the spike's last packet.
+func (s Spike) End() time.Time { return s.Packets[len(s.Packets)-1].Time }
+
+// Duration returns the spike's span.
+func (s Spike) Duration() time.Duration { return s.End().Sub(s.Start()) }
+
+// Lengths returns the payload lengths of the spike's packets.
+func (s Spike) Lengths() []int { return Lengths(s.Packets) }
+
+// Spikes groups time-ordered packets into spikes separated by idle
+// gaps of at least idleGap. A non-positive idleGap uses
+// DefaultIdleGap.
+func Spikes(packets []Packet, idleGap time.Duration) []Spike {
+	if idleGap <= 0 {
+		idleGap = DefaultIdleGap
+	}
+	var spikes []Spike
+	var cur []Packet
+	for _, p := range packets {
+		if len(cur) > 0 && p.Time.Sub(cur[len(cur)-1].Time) >= idleGap {
+			spikes = append(spikes, Spike{Packets: cur})
+			cur = nil
+		}
+		cur = append(cur, p)
+	}
+	if len(cur) > 0 {
+		spikes = append(spikes, Spike{Packets: cur})
+	}
+	return spikes
+}

@@ -1,0 +1,343 @@
+// Package proxy implements the Traffic Handler's transport layer: a
+// transparent TCP proxy and a UDP forwarder that sit between the
+// smart speaker and the home router (§IV-B2).
+//
+// The proxy terminates the speaker's TCP connection and opens its own
+// connection to the cloud server, forwarding payload bytes between
+// them. Because the proxy keeps reading from the speaker even while
+// "holding", the speaker's TCP stack sees normal ACK behaviour and
+// keep-alive probes are answered by the proxy's kernel socket — the
+// connection survives holds of dozens of seconds. Held bytes are
+// queued and later either released to the cloud (legitimate command)
+// or dropped (malicious command), the latter breaking the TLS record
+// sequence and causing the cloud to terminate the session, which is
+// exactly Fig. 4's case III.
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrQueueOverflow is returned when a hold accumulates more bytes
+// than the session allows.
+var ErrQueueOverflow = errors.New("proxy: hold queue overflow")
+
+// DefaultMaxHoldBytes bounds the bytes buffered during one hold.
+const DefaultMaxHoldBytes = 4 << 20
+
+// DialFunc opens the upstream (cloud-side) connection for a new
+// client session.
+type DialFunc func(ctx context.Context) (net.Conn, error)
+
+// Tap observes each client-to-server chunk before it is forwarded or
+// queued. The tap may call Hold on the session; the observed chunk is
+// then the first held chunk. The byte slice is only valid for the
+// duration of the call.
+type Tap func(s *Session, data []byte)
+
+// TCP is a transparent TCP proxy.
+type TCP struct {
+	lis  net.Listener
+	dial DialFunc
+	tap  Tap
+
+	mu       sync.Mutex
+	sessions map[*Session]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// Option configures the proxy.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	tap          Tap
+	maxHoldBytes int
+}
+
+type tapOption Tap
+
+func (t tapOption) apply(o *options) { o.tap = Tap(t) }
+
+// WithTap installs a chunk observer.
+func WithTap(t Tap) Option { return tapOption(t) }
+
+type maxHoldOption int
+
+func (m maxHoldOption) apply(o *options) { o.maxHoldBytes = int(m) }
+
+// WithMaxHoldBytes bounds per-session hold buffering.
+func WithMaxHoldBytes(n int) Option { return maxHoldOption(n) }
+
+// NewTCP starts a transparent proxy listening on listenAddr (use
+// "127.0.0.1:0" for an ephemeral port) that connects upstream via
+// dial for each accepted client.
+func NewTCP(listenAddr string, dial DialFunc, opts ...Option) (*TCP, error) {
+	var o options
+	o.maxHoldBytes = DefaultMaxHoldBytes
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	lis, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: listen: %w", err)
+	}
+	p := &TCP{
+		lis:      lis,
+		dial:     dial,
+		tap:      o.tap,
+		sessions: make(map[*Session]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop(o.maxHoldBytes)
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *TCP) Addr() string { return p.lis.Addr().String() }
+
+// Close stops accepting, terminates all sessions, and waits for all
+// proxy goroutines to exit.
+func (p *TCP) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	err := p.lis.Close()
+	for s := range p.sessions {
+		s.closeConns()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// Sessions returns the live sessions.
+func (p *TCP) Sessions() []*Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Session, 0, len(p.sessions))
+	for s := range p.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (p *TCP) acceptLoop(maxHoldBytes int) {
+	defer p.wg.Done()
+	for {
+		client, err := p.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		server, err := p.dial(context.Background())
+		if err != nil {
+			_ = client.Close()
+			continue
+		}
+		s := &Session{
+			client:       client,
+			server:       server,
+			maxHoldBytes: maxHoldBytes,
+			done:         make(chan struct{}),
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			s.closeConns()
+			continue
+		}
+		p.sessions[s] = struct{}{}
+		p.mu.Unlock()
+
+		p.wg.Add(2)
+		go func() {
+			defer p.wg.Done()
+			s.clientToServer(p.tap)
+			p.remove(s)
+		}()
+		go func() {
+			defer p.wg.Done()
+			s.serverToClient()
+		}()
+	}
+}
+
+func (p *TCP) remove(s *Session) {
+	p.mu.Lock()
+	delete(p.sessions, s)
+	p.mu.Unlock()
+}
+
+// Session is one proxied client connection and its upstream pair.
+type Session struct {
+	client net.Conn
+	server net.Conn
+
+	maxHoldBytes int
+
+	mu        sync.Mutex
+	holding   bool
+	queue     [][]byte
+	queued    int
+	heldTotal int // lifetime bytes that passed through a hold
+	dropped   int // lifetime bytes discarded by Drop
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// ClientAddr returns the speaker-side remote address.
+func (s *Session) ClientAddr() string { return s.client.RemoteAddr().String() }
+
+// Done is closed when the session has terminated.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Hold starts buffering client-to-server bytes. If called from a Tap,
+// the chunk being observed is the first held chunk. Hold during an
+// existing hold is a no-op.
+func (s *Session) Hold() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.holding = true
+}
+
+// Holding reports whether a hold is active.
+func (s *Session) Holding() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.holding
+}
+
+// QueuedBytes returns the bytes currently buffered by the hold.
+func (s *Session) QueuedBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// HeldTotal returns the lifetime number of bytes that entered a hold
+// queue (whether later released or dropped).
+func (s *Session) HeldTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heldTotal
+}
+
+// DroppedTotal returns the lifetime number of bytes discarded by
+// Drop.
+func (s *Session) DroppedTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Release ends the hold, flushing all queued bytes to the cloud in
+// order. Fig. 4 case II: the held voice command reaches the server
+// and the interaction completes normally.
+func (s *Session) Release() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, chunk := range s.queue {
+		if _, err := s.server.Write(chunk); err != nil {
+			s.queue = nil
+			s.queued = 0
+			s.holding = false
+			return fmt.Errorf("proxy: release: %w", err)
+		}
+	}
+	s.queue = nil
+	s.queued = 0
+	s.holding = false
+	return nil
+}
+
+// Drop ends the hold, discarding the queued bytes. Fig. 4 case III:
+// the cloud never sees the voice command; its TLS record sequence
+// breaks on the next forwarded record and it closes the session.
+// Drop returns the number of bytes discarded.
+func (s *Session) Drop() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.queued
+	s.dropped += n
+	s.queue = nil
+	s.queued = 0
+	s.holding = false
+	return n
+}
+
+// clientToServer pumps speaker bytes upstream, diverting them into
+// the hold queue while a hold is active.
+func (s *Session) clientToServer(tap Tap) {
+	defer s.closeConns()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := s.client.Read(buf)
+		if n > 0 {
+			chunk := append([]byte(nil), buf[:n]...)
+			if tap != nil {
+				tap(s, chunk)
+			}
+			if werr := s.forward(chunk); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// forward writes the chunk upstream or queues it under a hold.
+func (s *Session) forward(chunk []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.holding {
+		if s.queued+len(chunk) > s.maxHoldBytes {
+			return ErrQueueOverflow
+		}
+		s.queue = append(s.queue, chunk)
+		s.queued += len(chunk)
+		s.heldTotal += len(chunk)
+		return nil
+	}
+	_, err := s.server.Write(chunk)
+	return err
+}
+
+// serverToClient pumps cloud bytes back to the speaker unmodified.
+func (s *Session) serverToClient() {
+	defer s.closeConns()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := s.server.Read(buf)
+		if n > 0 {
+			if _, werr := s.client.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// closeConns tears down both sides of the session.
+func (s *Session) closeConns() {
+	s.closeOnce.Do(func() {
+		_ = s.client.Close()
+		_ = s.server.Close()
+		close(s.done)
+	})
+}

@@ -1,0 +1,230 @@
+package proxy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPTap observes each client-to-upstream datagram before forwarding.
+// The tap may call Hold on the forwarder; the observed datagram is
+// then the first held one.
+type UDPTap func(f *UDPForwarder, clientAddr string, data []byte)
+
+// UDPForwarder relays datagrams between clients and a fixed upstream
+// address — the Google Home Mini's QUIC path (§IV-B1). Like the TCP
+// proxy it can hold, release, and drop client datagrams; replies from
+// the upstream are forwarded back to the originating client.
+type UDPForwarder struct {
+	conn     *net.UDPConn
+	upstream *net.UDPAddr
+	tap      UDPTap
+
+	mu      sync.Mutex
+	holding bool
+	queue   []queuedDatagram
+	peers   map[string]*udpPeer
+	closed  bool
+	dropped int
+
+	wg sync.WaitGroup
+}
+
+type queuedDatagram struct {
+	clientAddr string
+	data       []byte
+}
+
+type udpPeer struct {
+	conn       *net.UDPConn
+	clientAddr *net.UDPAddr
+}
+
+// NewUDP starts a forwarder listening on listenAddr that relays to
+// upstreamAddr.
+func NewUDP(listenAddr, upstreamAddr string, tap UDPTap) (*UDPForwarder, error) {
+	up, err := net.ResolveUDPAddr("udp", upstreamAddr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: resolve upstream: %w", err)
+	}
+	la, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: resolve listen: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: listen udp: %w", err)
+	}
+	f := &UDPForwarder{
+		conn:     conn,
+		upstream: up,
+		tap:      tap,
+		peers:    make(map[string]*udpPeer),
+	}
+	f.wg.Add(1)
+	go f.readLoop()
+	return f, nil
+}
+
+// Addr returns the forwarder's listen address.
+func (f *UDPForwarder) Addr() string { return f.conn.LocalAddr().String() }
+
+// Close stops the forwarder and waits for its goroutines.
+func (f *UDPForwarder) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return nil
+	}
+	f.closed = true
+	err := f.conn.Close()
+	for _, p := range f.peers {
+		_ = p.conn.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	return err
+}
+
+// Hold starts queueing client datagrams instead of forwarding them.
+func (f *UDPForwarder) Hold() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.holding = true
+}
+
+// Holding reports whether a hold is active.
+func (f *UDPForwarder) Holding() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.holding
+}
+
+// QueuedDatagrams returns the number of datagrams currently held.
+func (f *UDPForwarder) QueuedDatagrams() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue)
+}
+
+// DroppedTotal returns the lifetime number of datagrams discarded by
+// Drop.
+func (f *UDPForwarder) DroppedTotal() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Release forwards all held datagrams in order and resumes
+// pass-through.
+func (f *UDPForwarder) Release() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, d := range f.queue {
+		if err := f.forwardLocked(d.clientAddr, d.data); err != nil {
+			f.queue = nil
+			f.holding = false
+			return err
+		}
+	}
+	f.queue = nil
+	f.holding = false
+	return nil
+}
+
+// Drop discards all held datagrams and resumes pass-through,
+// returning the number discarded.
+func (f *UDPForwarder) Drop() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.queue)
+	f.dropped += n
+	f.queue = nil
+	f.holding = false
+	return n
+}
+
+// readLoop receives client datagrams on the listen socket.
+func (f *UDPForwarder) readLoop() {
+	defer f.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, addr, err := f.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		data := append([]byte(nil), buf[:n]...)
+		if f.tap != nil {
+			f.tap(f, addr.String(), data)
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return
+		}
+		if f.holding {
+			f.queue = append(f.queue, queuedDatagram{clientAddr: addr.String(), data: data})
+			f.mu.Unlock()
+			continue
+		}
+		err = f.forwardLockedAddr(addr, data)
+		f.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// forwardLocked forwards one datagram for the client. Callers hold
+// f.mu.
+func (f *UDPForwarder) forwardLocked(clientAddr string, data []byte) error {
+	addr, err := net.ResolveUDPAddr("udp", clientAddr)
+	if err != nil {
+		return fmt.Errorf("proxy: resolve client: %w", err)
+	}
+	return f.forwardLockedAddr(addr, data)
+}
+
+// forwardLockedAddr forwards one datagram, creating the per-client
+// upstream socket on first use. Callers hold f.mu.
+func (f *UDPForwarder) forwardLockedAddr(clientAddr *net.UDPAddr, data []byte) error {
+	peer, ok := f.peers[clientAddr.String()]
+	if !ok {
+		conn, err := net.DialUDP("udp", nil, f.upstream)
+		if err != nil {
+			return fmt.Errorf("proxy: dial upstream: %w", err)
+		}
+		peer = &udpPeer{conn: conn, clientAddr: clientAddr}
+		f.peers[clientAddr.String()] = peer
+		f.wg.Add(1)
+		go f.replyLoop(peer)
+	}
+	if _, err := peer.conn.Write(data); err != nil {
+		return fmt.Errorf("proxy: forward: %w", err)
+	}
+	return nil
+}
+
+// replyLoop relays upstream replies back to one client.
+func (f *UDPForwarder) replyLoop(peer *udpPeer) {
+	defer f.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		// Idle peers age out so Close is never blocked forever by a
+		// silent upstream.
+		_ = peer.conn.SetReadDeadline(time.Now().Add(time.Minute))
+		n, err := peer.conn.Read(buf)
+		if err != nil {
+			f.mu.Lock()
+			delete(f.peers, peer.clientAddr.String())
+			f.mu.Unlock()
+			_ = peer.conn.Close()
+			return
+		}
+		if _, err := f.conn.WriteToUDP(buf[:n], peer.clientAddr); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package push emulates the Firebase Cloud Messaging path the
+// Decision Module uses to query the owner's devices (Fig. 5, steps
+// 4-7): a push notification wakes the phone's background app, the app
+// scans the speaker's Bluetooth RSSI, and the result returns to the
+// guard. Each leg contributes latency; together they produce the
+// Fig. 7 delay distribution.
+package push
+
+import (
+	"fmt"
+	"time"
+
+	"voiceguard/internal/ble"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/rng"
+	"voiceguard/internal/simtime"
+)
+
+// Latency model parameters (seconds). Push delivery is log-normal
+// with a long tail, clamped to keep the simulation inside observed
+// FCM behaviour; app wake-up and the reply uplink are uniform.
+const (
+	pushMu      = -0.8 // ln(0.45)
+	pushSigma   = 0.4
+	pushMinSec  = 0.15
+	pushMaxSec  = 2.2
+	wakeMinSec  = 0.08
+	wakeMaxSec  = 0.30
+	replyMinSec = 0.04
+	replyMaxSec = 0.12
+)
+
+// Device is a registered owner device: the scanner doing the
+// measuring and a callback reporting where the device currently is.
+type Device struct {
+	ID       string
+	Scanner  *ble.Scanner
+	Position func() floorplan.Position
+
+	// Offline marks the device unreachable (powered off, out of the
+	// house, airplane mode): pushes to it are accepted by FCM but no
+	// reply ever arrives, exercising the Decision Module's timeout
+	// path.
+	Offline bool
+}
+
+// Reply is a completed RSSI measurement from one device.
+type Reply struct {
+	DeviceID string
+	Reading  ble.Reading
+	At       time.Time // simulated arrival time at the guard
+}
+
+// Broker routes measurement requests to registered devices over the
+// simulated push channel.
+type Broker struct {
+	clock *simtime.Sim
+	src   *rng.Source
+
+	devices map[string]*Device
+}
+
+// NewBroker returns a broker on the simulated clock.
+func NewBroker(clock *simtime.Sim, src *rng.Source) *Broker {
+	return &Broker{
+		clock:   clock,
+		src:     src,
+		devices: make(map[string]*Device),
+	}
+}
+
+// Register adds a device. Registering an existing ID replaces it —
+// VoiceGuard's device list is owner-managed (§IV-C).
+func (b *Broker) Register(d *Device) error {
+	if d == nil || d.ID == "" {
+		return fmt.Errorf("push: device must have an ID")
+	}
+	if d.Scanner == nil || d.Position == nil {
+		return fmt.Errorf("push: device %q needs a scanner and a position callback", d.ID)
+	}
+	b.devices[d.ID] = d
+	return nil
+}
+
+// Unregister removes a device.
+func (b *Broker) Unregister(id string) { delete(b.devices, id) }
+
+// Devices returns the registered device IDs.
+func (b *Broker) Devices() []string {
+	out := make([]string, 0, len(b.devices))
+	for id := range b.devices {
+		out = append(out, id)
+	}
+	return out
+}
+
+// RequestRSSI pushes a measurement request to each named device
+// simultaneously (the multi-user group push of §IV-C). Each device's
+// reply is delivered via the callback at its own simulated arrival
+// time. Unknown device IDs are reported as an error before any push
+// is sent.
+func (b *Broker) RequestRSSI(ids []string, adv ble.Advertiser, deliver func(Reply)) error {
+	targets := make([]*Device, 0, len(ids))
+	for _, id := range ids {
+		d, ok := b.devices[id]
+		if !ok {
+			return fmt.Errorf("push: unknown device %q", id)
+		}
+		targets = append(targets, d)
+	}
+	now := b.clock.Now()
+	for _, d := range targets {
+		d := d
+		if d.Offline {
+			continue // accepted by the push service, never delivered
+		}
+		wakeAt := now.Add(b.pushLatency()).Add(b.uniform(wakeMinSec, wakeMaxSec))
+		b.clock.Schedule(wakeAt, func() {
+			reading := d.Scanner.Measure(adv, d.Position())
+			arriveAt := b.clock.Now().Add(reading.Duration).Add(b.uniform(replyMinSec, replyMaxSec))
+			b.clock.Schedule(arriveAt, func() {
+				deliver(Reply{DeviceID: d.ID, Reading: reading, At: arriveAt})
+			})
+		})
+	}
+	return nil
+}
+
+// pushLatency draws one FCM delivery latency.
+func (b *Broker) pushLatency() time.Duration {
+	sec := b.src.LogNormal(pushMu, pushSigma)
+	if sec < pushMinSec {
+		sec = pushMinSec
+	}
+	if sec > pushMaxSec {
+		sec = pushMaxSec
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+func (b *Broker) uniform(lo, hi float64) time.Duration {
+	return time.Duration(b.src.Uniform(lo, hi) * float64(time.Second))
+}

@@ -1,0 +1,205 @@
+package push
+
+import (
+	"testing"
+	"time"
+
+	"voiceguard/internal/ble"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/geom"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/rng"
+	"voiceguard/internal/simtime"
+)
+
+var epoch = time.Date(2023, 3, 1, 9, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	clock  *simtime.Sim
+	broker *Broker
+	adv    ble.Advertiser
+	plan   *floorplan.Plan
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	plan := floorplan.House()
+	model := radio.NewModel(plan, radio.DefaultParams(), 1)
+	clock := simtime.NewSim(epoch)
+	root := rng.New(99)
+	broker := NewBroker(clock, root.Split("push"))
+	spot, _ := plan.Spot("A")
+
+	pos := floorplan.Position{Floor: 0, At: geom.Point{X: 4, Y: 3}}
+	dev := &Device{
+		ID:       "pixel5",
+		Scanner:  ble.NewScanner(model, radio.Pixel5, root.Split("scan")),
+		Position: func() floorplan.Position { return pos },
+	}
+	if err := broker.Register(dev); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{clock: clock, broker: broker, adv: ble.NewAdvertiser(spot.Pos), plan: plan}
+}
+
+func TestRequestDeliversReply(t *testing.T) {
+	f := setup(t)
+	var got []Reply
+	if err := f.broker.RequestRSSI([]string{"pixel5"}, f.adv, func(r Reply) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(10 * time.Second)
+	if len(got) != 1 {
+		t.Fatalf("replies = %d, want 1", len(got))
+	}
+	if got[0].DeviceID != "pixel5" {
+		t.Fatalf("device = %q", got[0].DeviceID)
+	}
+}
+
+func TestReplyLatencyWithinEnvelope(t *testing.T) {
+	f := setup(t)
+	for i := 0; i < 100; i++ {
+		start := f.clock.Now()
+		var at time.Time
+		if err := f.broker.RequestRSSI([]string{"pixel5"}, f.adv, func(r Reply) { at = r.At }); err != nil {
+			t.Fatal(err)
+		}
+		f.clock.Advance(10 * time.Second)
+		d := at.Sub(start)
+		// push [0.15, 2.2] + wake [0.08, 0.3] + scan [~0.62, ~0.96] + reply [0.04, 0.12]
+		if d < 800*time.Millisecond || d > 3800*time.Millisecond {
+			t.Fatalf("query latency %v outside the model envelope", d)
+		}
+	}
+}
+
+func TestReplyLatencyAveragesUnderTwoSeconds(t *testing.T) {
+	f := setup(t)
+	var total time.Duration
+	const n = 200
+	for i := 0; i < n; i++ {
+		start := f.clock.Now()
+		var at time.Time
+		if err := f.broker.RequestRSSI([]string{"pixel5"}, f.adv, func(r Reply) { at = r.At }); err != nil {
+			t.Fatal(err)
+		}
+		f.clock.Advance(10 * time.Second)
+		total += at.Sub(start)
+	}
+	avg := total / n
+	// Paper Fig. 7: average RSSI verification time well under 2 s.
+	if avg < time.Second || avg > 2*time.Second {
+		t.Fatalf("average query latency %v, want 1-2 s", avg)
+	}
+}
+
+func TestGroupPushQueriesAllDevices(t *testing.T) {
+	f := setup(t)
+	model := radio.NewModel(f.plan, radio.DefaultParams(), 1)
+	root := rng.New(5)
+	pos := floorplan.Position{Floor: 0, At: geom.Point{X: 10, Y: 8}}
+	if err := f.broker.Register(&Device{
+		ID:       "pixel4a",
+		Scanner:  ble.NewScanner(model, radio.Pixel4a, root.Split("scan2")),
+		Position: func() floorplan.Position { return pos },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]int{}
+	err := f.broker.RequestRSSI([]string{"pixel5", "pixel4a"}, f.adv, func(r Reply) { got[r.DeviceID]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(10 * time.Second)
+	if got["pixel5"] != 1 || got["pixel4a"] != 1 {
+		t.Fatalf("replies = %v, want one from each device", got)
+	}
+}
+
+func TestRequestUnknownDeviceFails(t *testing.T) {
+	f := setup(t)
+	err := f.broker.RequestRSSI([]string{"pixel5", "ghost"}, f.adv, func(Reply) {
+		t.Fatal("no reply should be delivered")
+	})
+	if err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	f.clock.Advance(10 * time.Second)
+}
+
+func TestRegisterValidation(t *testing.T) {
+	f := setup(t)
+	if err := f.broker.Register(&Device{ID: ""}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if err := f.broker.Register(&Device{ID: "x"}); err == nil {
+		t.Fatal("device without scanner accepted")
+	}
+}
+
+func TestUnregisterRemovesDevice(t *testing.T) {
+	f := setup(t)
+	f.broker.Unregister("pixel5")
+	if err := f.broker.RequestRSSI([]string{"pixel5"}, f.adv, func(Reply) {}); err == nil {
+		t.Fatal("unregistered device still reachable")
+	}
+	if got := f.broker.Devices(); len(got) != 0 {
+		t.Fatalf("devices = %v", got)
+	}
+}
+
+func TestOfflineDeviceNeverReplies(t *testing.T) {
+	f := setup(t)
+	pos := floorplan.Position{Floor: 0, At: geom.Point{X: 4, Y: 3}}
+	model := radio.NewModel(f.plan, radio.DefaultParams(), 1)
+	if err := f.broker.Register(&Device{
+		ID:       "offline",
+		Scanner:  ble.NewScanner(model, radio.Pixel5, rng.New(8)),
+		Position: func() floorplan.Position { return pos },
+		Offline:  true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	replies := 0
+	if err := f.broker.RequestRSSI([]string{"offline"}, f.adv, func(Reply) { replies++ }); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(time.Minute)
+	if replies != 0 {
+		t.Fatalf("offline device replied %d times", replies)
+	}
+}
+
+func TestPositionCallbackEvaluatedAtMeasurementTime(t *testing.T) {
+	// The device moves after the request is sent; the scan must see
+	// the position at wake-up time, not at request time.
+	plan := floorplan.House()
+	model := radio.NewModel(plan, radio.DefaultParams(), 1)
+	clock := simtime.NewSim(epoch)
+	root := rng.New(7)
+	broker := NewBroker(clock, root.Split("push"))
+	spot, _ := plan.Spot("A")
+
+	near := floorplan.Position{Floor: 0, At: geom.Point{X: 2.5, Y: 2.25}}
+	far := floorplan.Position{Floor: 0, At: geom.Point{X: 11, Y: 9}}
+	current := near
+	if err := broker.Register(&Device{
+		ID:       "d",
+		Scanner:  ble.NewScanner(model, radio.Pixel5, root.Split("scan")),
+		Position: func() floorplan.Position { return current },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var rssi float64
+	if err := broker.RequestRSSI([]string{"d"}, ble.NewAdvertiser(spot.Pos), func(r Reply) { rssi = r.Reading.RSSI }); err != nil {
+		t.Fatal(err)
+	}
+	current = far // move before the push arrives
+	clock.Advance(10 * time.Second)
+	if rssi > -9 {
+		t.Fatalf("RSSI %v reflects the old position; want the far position's value", rssi)
+	}
+}

@@ -1,0 +1,60 @@
+package recognize
+
+import (
+	"time"
+
+	"voiceguard/internal/pcap"
+)
+
+// ReplayStats summarises an offline re-recognition pass over a
+// capture.
+type ReplayStats struct {
+	Packets  int
+	Holds    int // spikes that began being held
+	Commands int // spikes classified as voice commands
+	Releases int // spikes released without a decision query
+	Span     time.Duration
+}
+
+// Replay runs the streaming recognizer over a recorded, time-ordered
+// capture, simulating the guard's idle timer from the packet
+// timestamps. It is the offline-analysis counterpart of the live
+// pipeline (cmd/vgreplay wraps it).
+func Replay(rec *Recognizer, packets []pcap.Packet) ReplayStats {
+	var stats ReplayStats
+	if len(packets) == 0 {
+		return stats
+	}
+	stats.Packets = len(packets)
+	stats.Span = packets[len(packets)-1].Time.Sub(packets[0].Time)
+
+	var lastVoice time.Time
+	for _, p := range packets {
+		// Close spikes that ended before this packet, as the guard's
+		// idle timer would have.
+		if !lastVoice.IsZero() && p.Time.Sub(lastVoice) >= rec.IdleGap {
+			if rec.EndSpike() == ActionRelease {
+				stats.Releases++
+			}
+		}
+		switch rec.Feed(p) {
+		case ActionHold:
+			stats.Holds++
+			lastVoice = p.Time
+		case ActionCommand:
+			stats.Commands++
+			lastVoice = p.Time
+		case ActionRelease:
+			stats.Releases++
+			lastVoice = p.Time
+		case ActionNone:
+			if len(rec.CurrentSpike()) > 0 {
+				lastVoice = p.Time
+			}
+		}
+	}
+	if rec.EndSpike() == ActionRelease {
+		stats.Releases++
+	}
+	return stats
+}

@@ -1,0 +1,89 @@
+package recognize
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/rng"
+	"voiceguard/internal/trafficgen"
+)
+
+func TestReplayEmptyCapture(t *testing.T) {
+	stats := Replay(NewEcho(trafficgen.EchoIP), nil)
+	if stats != (ReplayStats{}) {
+		t.Fatalf("empty replay produced %+v", stats)
+	}
+}
+
+func TestReplayCountsInvocations(t *testing.T) {
+	src := rng.New(51)
+	echo := trafficgen.NewEcho(src)
+	echo.AnomalyRate = 0
+
+	var capture []pcap.Packet
+	boot, err := echo.Boot(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture = append(capture, boot...)
+
+	const invocations = 5
+	totalResponses := 0
+	at := t0.Add(5 * time.Minute)
+	for i := 0; i < invocations; i++ {
+		n := 1 + src.IntN(2)
+		totalResponses += n
+		inv := echo.Invocation(at, n)
+		capture = append(capture, inv.All()...)
+		at = at.Add(3 * time.Minute)
+	}
+
+	stats := Replay(NewEcho(trafficgen.EchoIP), capture)
+	if stats.Commands != invocations {
+		t.Fatalf("commands = %d, want %d", stats.Commands, invocations)
+	}
+	// Every command spike was held first, plus the boot connect spike.
+	if stats.Holds != invocations+totalResponses+1 {
+		t.Fatalf("holds = %d, want %d", stats.Holds, invocations+totalResponses+1)
+	}
+	// Responses and the boot spike are released.
+	if stats.Releases != totalResponses+1 {
+		t.Fatalf("releases = %d, want %d", stats.Releases, totalResponses+1)
+	}
+	if stats.Packets != len(capture) {
+		t.Fatalf("packets = %d, want %d", stats.Packets, len(capture))
+	}
+	if stats.Span <= 0 {
+		t.Fatal("span not computed")
+	}
+}
+
+func TestReplayMatchesFileRoundTrip(t *testing.T) {
+	// Replay over a serialised-then-parsed capture must agree with
+	// replay over the original packets.
+	src := rng.New(52)
+	echo := trafficgen.NewEcho(src)
+	echo.AnomalyRate = 0
+	boot, err := echo.Boot(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := append(boot, echo.Invocation(t0.Add(time.Minute), 2).All()...)
+
+	direct := Replay(NewEcho(trafficgen.EchoIP), capture)
+
+	var buf bytes.Buffer
+	if err := pcap.WriteCapture(&buf, capture); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := pcap.ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := Replay(NewEcho(trafficgen.EchoIP), parsed)
+	if direct != replayed {
+		t.Fatalf("replay diverged: %+v vs %+v", direct, replayed)
+	}
+}

@@ -1,0 +1,126 @@
+package recognize
+
+import (
+	"net/netip"
+
+	"voiceguard/internal/pcap"
+)
+
+// AVSTracker maintains the current IP address of the speaker's cloud
+// voice server. It learns addresses two ways:
+//
+//   - from DNS responses answering the tracked domain, and
+//   - from packet-level connection signatures: when a new
+//     speaker-originated flow's first Application Data lengths match
+//     the known connect signature, the flow's destination is the
+//     cloud server even if no DNS exchange was observed (§IV-B1's
+//     reconnection case).
+//
+// Either mechanism can be disabled to reproduce the paper's ablation
+// (DNS-only tracking loses the server after a cached reconnect).
+type AVSTracker struct {
+	SpeakerIP string
+	Domain    string
+	Signature []int
+
+	UseDNS       bool
+	UseSignature bool
+
+	current netip.Addr
+	ok      bool
+	flows   map[string]*sigFlow
+}
+
+// sigFlow is the per-flow signature matching state.
+type sigFlow struct {
+	dst     string
+	matched int
+	dead    bool
+}
+
+// NewAVSTracker returns a tracker for the speaker's cloud server with
+// both mechanisms enabled.
+func NewAVSTracker(speakerIP, domain string, signature []int) *AVSTracker {
+	return &AVSTracker{
+		SpeakerIP:    speakerIP,
+		Domain:       domain,
+		Signature:    append([]int(nil), signature...),
+		UseDNS:       true,
+		UseSignature: true,
+		flows:        make(map[string]*sigFlow),
+	}
+}
+
+// Current returns the tracked server address, if known.
+func (t *AVSTracker) Current() (netip.Addr, bool) { return t.current, t.ok }
+
+// ForceAddress pins the tracked server address. The wire-plane guard
+// sits inline between one speaker and its cloud endpoint, so the
+// server's identity is known by construction rather than learned from
+// DNS or signatures.
+func (t *AVSTracker) ForceAddress(addr netip.Addr) { t.set(addr) }
+
+// Observe feeds one captured packet to the tracker and reports
+// whether the tracked address changed.
+func (t *AVSTracker) Observe(p pcap.Packet) bool {
+	if t.UseDNS {
+		if msg, ok := pcap.IsDNSResponse(p); ok && msg.Response && msg.Name == t.Domain && p.DstIP == t.SpeakerIP {
+			return t.set(msg.Addr)
+		}
+	}
+	if t.UseSignature && len(t.Signature) > 0 {
+		if p.SrcIP == t.SpeakerIP && p.Proto == pcap.TCP && pcap.IsAppData(p) {
+			return t.observeSignature(p)
+		}
+	}
+	return false
+}
+
+// observeSignature advances per-flow signature matching.
+func (t *AVSTracker) observeSignature(p pcap.Packet) bool {
+	key := p.FlowKey()
+	f, exists := t.flows[key]
+	if !exists {
+		f = &sigFlow{dst: p.DstIP}
+		t.flows[key] = f
+	}
+	if f.dead {
+		return false
+	}
+	if p.Len != t.Signature[f.matched] {
+		f.dead = true
+		return false
+	}
+	f.matched++
+	if f.matched < len(t.Signature) {
+		return false
+	}
+	// Full signature observed: this flow talks to the cloud server.
+	f.dead = true // stop matching further traffic on this flow
+	addr, err := netip.ParseAddr(f.dst)
+	if err != nil {
+		return false
+	}
+	return t.set(addr)
+}
+
+// set updates the tracked address.
+func (t *AVSTracker) set(addr netip.Addr) bool {
+	if t.ok && t.current == addr {
+		return false
+	}
+	t.current = addr
+	t.ok = true
+	return true
+}
+
+// Forget drops completed or dead flow state to bound memory on
+// long-running captures. The tracker keeps only live, partially
+// matched flows.
+func (t *AVSTracker) Forget() {
+	for key, f := range t.flows {
+		if f.dead {
+			delete(t.flows, key)
+		}
+	}
+}

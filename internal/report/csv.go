@@ -1,0 +1,107 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"voiceguard/internal/scenario"
+)
+
+// CSV exporters for the figure data, so the actual plots can be
+// regenerated with any charting tool.
+
+// WriteRSSIMapCSV exports a Fig. 8/9 map: one row per location.
+func WriteRSSIMapCSV(w io.Writer, entries []scenario.RSSIMapEntry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "room", "floor", "rssi_db"}); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := cw.Write([]string{
+			strconv.Itoa(e.ID),
+			e.Room,
+			strconv.Itoa(e.Floor),
+			formatFloat(e.RSSI),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDelayCSV exports Fig. 7 samples: one row per invocation with
+// its verification time and perceived delay.
+func WriteDelayCSV(w io.Writer, study *scenario.DelayStudy) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"speaker", "verification_s", "perceived_s"}); err != nil {
+		return err
+	}
+	for i, v := range study.Verification {
+		perceived := ""
+		if i < len(study.Perceived) {
+			perceived = formatFloat(study.Perceived[i])
+		}
+		if err := cw.Write([]string{
+			study.Speaker.String(),
+			formatFloat(v),
+			perceived,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTracePointsCSV exports a Fig. 10 scatter: one row per trace
+// with its route label and fitted features.
+func WriteTracePointsCSV(w io.Writer, study *scenario.TraceStudy) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "route", "class", "slope", "intercept", "residual"}); err != nil {
+		return err
+	}
+	for _, p := range study.Points {
+		if err := cw.Write([]string{
+			study.Case,
+			p.Route,
+			p.Class.String(),
+			formatFloat(p.F.Slope),
+			formatFloat(p.F.Intercept),
+			formatFloat(p.F.Residual),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCommandsCSV exports a protection run's per-command records.
+func WriteCommandsCSV(w io.Writer, out *scenario.Outcome) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"day", "malicious", "blocked", "recognized", "owner_loc", "verification_s", "perceived_s"}); err != nil {
+		return err
+	}
+	for _, r := range out.Records {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Day),
+			strconv.FormatBool(r.Malicious),
+			strconv.FormatBool(r.Blocked),
+			strconv.FormatBool(r.Recognized),
+			strconv.Itoa(r.OwnerLoc),
+			formatFloat(r.Verification.Seconds()),
+			formatFloat(r.Perceived.Seconds()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%.4f", v)
+}

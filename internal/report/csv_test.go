@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/scenario"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteRSSIMapCSV(t *testing.T) {
+	entries, err := scenario.RSSIMap(floorplan.Apartment(), "A", radio.Pixel5, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRSSIMapCSV(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != len(entries)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(entries)+1)
+	}
+	if strings.Join(rows[0], ",") != "id,room,floor,rssi_db" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][0] != "1" || rows[1][1] != "living" {
+		t.Fatalf("first row = %v", rows[1])
+	}
+}
+
+func TestWriteDelayCSV(t *testing.T) {
+	study, err := scenario.QueryDelayStudy(scenario.Echo, 20, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDelayCSV(&buf, study); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 21 {
+		t.Fatalf("rows = %d, want 21", len(rows))
+	}
+	if rows[1][0] != "Echo Dot" {
+		t.Fatalf("speaker column = %q", rows[1][0])
+	}
+}
+
+func TestWriteTracePointsCSV(t *testing.T) {
+	study, err := scenario.StairTraceStudy(floorplan.House(), "A", "csv-case", radio.Pixel5, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTracePointsCSV(&buf, study); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != len(study.Points)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(study.Points)+1)
+	}
+	seenRoutes := map[string]bool{}
+	for _, row := range rows[1:] {
+		if row[0] != "csv-case" {
+			t.Fatalf("case column = %q", row[0])
+		}
+		seenRoutes[row[1]] = true
+	}
+	for _, route := range []string{"up", "down", "route1", "route2", "route3"} {
+		if !seenRoutes[route] {
+			t.Errorf("route %q missing from CSV", route)
+		}
+	}
+}
+
+func TestWriteCommandsCSV(t *testing.T) {
+	out, err := scenario.Run(scenario.Config{
+		Plan:    floorplan.Apartment(),
+		Spot:    "A",
+		Speaker: scenario.Echo,
+		Devices: []scenario.DeviceSpec{{ID: "p5", Hardware: radio.Pixel5}},
+		Days:    1,
+		Seed:    64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCommandsCSV(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != len(out.Records)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(out.Records)+1)
+	}
+	sawAttack := false
+	for _, row := range rows[1:] {
+		if row[1] == "true" {
+			sawAttack = true
+		}
+	}
+	if !sawAttack {
+		t.Fatal("no attack rows in CSV")
+	}
+}

@@ -1,0 +1,317 @@
+// Package report renders the reproduction's tables and figures as
+// text, in the same shape the paper presents them: confusion-matrix
+// tables (Tables I-IV), spike timelines (Fig. 3), proxy hold cases
+// (Fig. 4), delay analyses (Figs. 6/7), RSSI maps (Figs. 8/9), and
+// the stair-trace feature scatter (Fig. 10).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"voiceguard/internal/scenario"
+	"voiceguard/internal/stats"
+)
+
+// Table1 renders the traffic-pattern-recognition confusion matrix.
+func Table1(res scenario.RecognitionResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: traffic pattern recognition (%d invocations, %d spikes)\n\n", res.Invocations, res.Spikes)
+	writeConfusion(&b, "phase-aware recognizer", res.Confusion)
+	b.WriteString("\n")
+	writeConfusion(&b, "naive spike detector (ablation)", res.Naive)
+	return b.String()
+}
+
+// writeConfusion renders one confusion matrix in the paper's layout.
+func writeConfusion(b *strings.Builder, title string, c stats.Confusion) {
+	fmt.Fprintf(b, "%s\n", title)
+	w := tabwriter.NewWriter(b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "\tPred +\tPred -\tTotal\t")
+	fmt.Fprintf(w, "Actual +\t%d\t%d\t%d\t\n", c.TP, c.FN, c.TP+c.FN)
+	fmt.Fprintf(w, "Actual -\t%d\t%d\t%d\t\n", c.FP, c.TN, c.FP+c.TN)
+	fmt.Fprintf(w, "Total\t%d\t%d\t%d\t\n", c.TP+c.FP, c.FN+c.TN, c.Total())
+	_ = w.Flush()
+	fmt.Fprintf(b, "accuracy %.2f%%  precision %.2f%%  recall %.2f%%\n",
+		100*c.Accuracy(), 100*c.Precision(), 100*c.Recall())
+}
+
+// RSSITable renders one of Tables II-IV: four columns (speaker ×
+// deployment location) of legitimate/malicious counts and metrics.
+func RSSITable(title string, columns []*scenario.Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", title)
+	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+
+	header := "Correct / Total"
+	for _, o := range columns {
+		header += fmt.Sprintf("\t%s @%s", o.Config.Speaker, o.Config.Spot)
+	}
+	fmt.Fprintln(w, header+"\t")
+
+	row := func(label string, f func(c stats.Confusion) string) {
+		line := label
+		for _, o := range columns {
+			line += "\t" + f(o.Confusion)
+		}
+		fmt.Fprintln(w, line+"\t")
+	}
+	row("legitimate (N)", func(c stats.Confusion) string {
+		return fmt.Sprintf("%d / %d", c.TN, c.TN+c.FP)
+	})
+	row("malicious (P)", func(c stats.Confusion) string {
+		return fmt.Sprintf("%d / %d", c.TP, c.TP+c.FN)
+	})
+	row("Accuracy", func(c stats.Confusion) string {
+		return fmt.Sprintf("%.2f%%", 100*c.Accuracy())
+	})
+	row("Precision", func(c stats.Confusion) string {
+		return fmt.Sprintf("%.2f%%", 100*c.Precision())
+	})
+	row("Recall", func(c stats.Confusion) string {
+		return fmt.Sprintf("%.2f%%", 100*c.Recall())
+	})
+	_ = w.Flush()
+
+	for _, o := range columns {
+		var ids []string
+		for id := range o.Thresholds {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(&b, "thresholds %s@%s:", o.Config.Speaker, o.Config.Spot)
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %s=%.1f", id, o.Thresholds[id])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig3 renders the spike timeline of a user-Echo interaction.
+func Fig3(spikes []scenario.Fig3Spike) string {
+	var b strings.Builder
+	b.WriteString("Fig. 3: traffic spikes during a user-Echo interaction\n\n")
+	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "#\tphase\tstart (s)\tend (s)\tpackets\tbytes\t")
+	for i, s := range spikes {
+		fmt.Fprintf(w, "%d\t%s\t%.2f\t%.2f\t%d\t%d\t\n",
+			i+1, s.Phase, s.StartS, s.EndS, s.Packets, s.Bytes)
+	}
+	_ = w.Flush()
+	b.WriteString("\nspike 1 is the command phase; later spikes are response\n" +
+		"spikes that a naive after-idle detector would mistake for commands.\n")
+	return b.String()
+}
+
+// Fig4 renders the three traffic-handler cases.
+func Fig4(cases []scenario.Fig4Case) string {
+	var b strings.Builder
+	b.WriteString("Fig. 4: voice command traffic through the Traffic Handler\n\n")
+	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "case\tresponse after\tsession closed\theld bytes\tdropped bytes\t")
+	for _, c := range cases {
+		resp := "-"
+		if c.ResponseAfter > 0 {
+			resp = fmt.Sprintf("%.3fs", c.ResponseAfter.Seconds())
+		}
+		fmt.Fprintf(w, "%s\t%s\t%v\t%d\t%d\t\n",
+			c.Name, resp, c.SessionClosed, c.HeldBytes, c.DroppedBytes)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// Fig6 renders the user-perceived delay case split.
+func Fig6(studies []*scenario.DelayStudy) string {
+	var b strings.Builder
+	b.WriteString("Fig. 6: user-perceived delay cases\n\n")
+	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "speaker\tcase (a) no delay\tcase (b) residual delay\tmean residual (s)\t")
+	for _, s := range studies {
+		var residuals []float64
+		for _, p := range s.Perceived {
+			if p > 0 {
+				residuals = append(residuals, p)
+			}
+		}
+		mean := 0.0
+		if len(residuals) > 0 {
+			mean = stats.Mean(residuals)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t\n", s.Speaker, s.CaseA, s.CaseB, mean)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// Fig7 renders the RSSI-query delay distributions with text
+// histograms.
+func Fig7(studies []*scenario.DelayStudy) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: RSSI query processing time\n")
+	for _, s := range studies {
+		fmt.Fprintf(&b, "\n%s: n=%d mean=%.3fs std=%.3fs p50=%.3fs p90=%.3fs max=%.3fs  under2s=%.0f%%\n",
+			s.Speaker, s.Summary.N, s.Summary.Mean, s.Summary.Std,
+			s.Summary.P50, s.Summary.P90, s.Summary.Max, 100*s.Under2s)
+		b.WriteString(histogram(s.Verification, 0, 4, 16))
+	}
+	return b.String()
+}
+
+// histogram renders a vertical ASCII histogram of xs over [lo, hi).
+func histogram(xs []float64, lo, hi float64, bins int) string {
+	counts := stats.Histogram(xs, lo, hi, bins)
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return "(no samples)\n"
+	}
+	var b strings.Builder
+	width := (hi - lo) / float64(bins)
+	for i, c := range counts {
+		barLen := c * 40 / maxCount
+		fmt.Fprintf(&b, "%5.2f-%4.2fs |%-40s %d\n",
+			lo+float64(i)*width, lo+float64(i+1)*width, strings.Repeat("#", barLen), c)
+	}
+	return b.String()
+}
+
+// Fig8 renders an RSSI map: per-location averages grouped by floor
+// and room, with the calibrated threshold for context.
+func Fig8(title string, entries []scenario.RSSIMapEntry, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (threshold %.1f dB)\n\n", title, threshold)
+
+	byFloor := make(map[int][]scenario.RSSIMapEntry)
+	for _, e := range entries {
+		byFloor[e.Floor] = append(byFloor[e.Floor], e)
+	}
+	var floors []int
+	for f := range byFloor {
+		floors = append(floors, f)
+	}
+	sort.Ints(floors)
+	for _, f := range floors {
+		fmt.Fprintf(&b, "floor %d:\n", f)
+		es := byFloor[f]
+		sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })
+		w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+		for i, e := range es {
+			marker := " "
+			if e.RSSI >= threshold {
+				marker = "*"
+			}
+			fmt.Fprintf(w, "#%d %s\t%.1f%s\t", e.ID, e.Room, e.RSSI, marker)
+			if (i+1)%4 == 0 {
+				fmt.Fprintln(w)
+			}
+		}
+		fmt.Fprintln(w)
+		_ = w.Flush()
+	}
+	b.WriteString("(* = at or above the threshold)\n")
+	return b.String()
+}
+
+// Fig10 renders the stair-trace studies: slope bands, per-route
+// feature ranges, and classification accuracy.
+func Fig10(studies []*scenario.TraceStudy) string {
+	var b strings.Builder
+	b.WriteString("Fig. 10: up/down trace classification by slope and y-intercept\n")
+	for _, s := range studies {
+		fmt.Fprintf(&b, "\n%s — slope band (%.2f, %.2f), accuracy %.1f%% (slope+intercept %.1f%%, slope-only %.1f%%)\n",
+			s.Case, s.BandLo, s.BandHi, 100*s.Accuracy, 100*s.SlopeInterceptAccuracy, 100*s.SlopeOnlyAccuracy)
+		w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "route\tn\tslope range\tintercept range\t")
+		for _, route := range []string{"up", "down", "route1", "route2", "route3"} {
+			var slopes, intercepts []float64
+			for _, p := range s.Points {
+				if p.Route == route {
+					slopes = append(slopes, p.Slope())
+					intercepts = append(intercepts, p.Intercept())
+				}
+			}
+			if len(slopes) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d\t[%.2f, %.2f]\t[%.1f, %.1f]\t\n",
+				route, len(slopes),
+				stats.Min(slopes), stats.Max(slopes),
+				stats.Min(intercepts), stats.Max(intercepts))
+		}
+		_ = w.Flush()
+	}
+	return b.String()
+}
+
+// AttackTable renders the per-vector block rates of the threat-model
+// study.
+func AttackTable(outcomes []scenario.VectorOutcome) string {
+	var b strings.Builder
+	b.WriteString("Threat-vector study: block rates per attack class (§II-B / §III-B)\n\n")
+	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "vector\ton-scene\taudible\tattacks\tblocked\trate\t")
+	for _, vo := range outcomes {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%d\t%d\t%.1f%%\t\n",
+			vo.Profile.Vector, vo.Profile.OnScene, vo.Profile.Audible,
+			vo.Attacks, vo.Blocked, 100*vo.BlockRate())
+	}
+	_ = w.Flush()
+	b.WriteString("\nThe defence never inspects audio, so block rates are vector-independent.\n")
+	return b.String()
+}
+
+// RobustnessTable renders the recognizer's performance under capture
+// impairment.
+func RobustnessTable(points []scenario.ImpairmentPoint) string {
+	var b strings.Builder
+	b.WriteString("Recognition robustness under capture impairment\n\n")
+	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "loss\tduplicate\tjitter\taccuracy\tprecision\trecall\t")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%.0f%%\t%.0f%%\t%v\t%.2f%%\t%.2f%%\t%.2f%%\t\n",
+			100*pt.Config.LossRate, 100*pt.Config.DuplicateRate, pt.Config.JitterMax,
+			100*pt.Confusion.Accuracy(), 100*pt.Confusion.Precision(), 100*pt.Confusion.Recall())
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// SensitivityTable renders the RF-noise sensitivity sweep.
+func SensitivityTable(points []scenario.SensitivityPoint) string {
+	var b strings.Builder
+	b.WriteString("RF-noise sensitivity of the RSSI method (§IV-C's robustness caveat)\n\n")
+	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "noise scale\taccuracy\tprecision\trecall\t")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%.2fx\t%.2f%%\t%.2f%%\t%.2f%%\t\n",
+			pt.NoiseScale,
+			100*pt.Confusion.Accuracy(), 100*pt.Confusion.Precision(), 100*pt.Confusion.Recall())
+	}
+	_ = w.Flush()
+	b.WriteString("\nThresholds recalibrate under each noise level; what eventually\n" +
+		"collapses is the structural in-room/away separation itself.\n")
+	return b.String()
+}
+
+// CorpusTable renders the §V-A2 command-length analysis.
+func CorpusTable(analyses []scenario.CorpusAnalysis) string {
+	var b strings.Builder
+	b.WriteString("Command corpus delay analysis (§V-A2)\n\n")
+	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "corpus\tcommands\tmean words\t>=4 words\t>=5 words\tno-delay chance\t")
+	for _, a := range analyses {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.1f%%\t%.1f%%\t%.1f%%\t\n",
+			a.Name, a.Commands, a.MeanWords,
+			100*a.FracAtLeast4, 100*a.FracAtLeast5, 100*a.NoDelayAtMean)
+	}
+	_ = w.Flush()
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/netem"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/scenario"
+	"voiceguard/internal/stats"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	res := scenario.RecognitionResult{
+		Invocations: 134,
+		Spikes:      283,
+		Confusion:   stats.Confusion{TP: 132, FN: 2, TN: 149},
+		Naive:       stats.Confusion{TP: 134, FP: 149},
+	}
+	out := Table1(res)
+	for _, want := range []string{"134 invocations", "132", "149", "99.29%", "100.00%", "98.51%", "naive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRSSITableRendering(t *testing.T) {
+	out := &scenario.Outcome{
+		Config: scenario.Config{
+			Plan: floorplan.House(), Spot: "A", Speaker: scenario.Echo,
+		},
+		Thresholds: map[string]float64{"pixel5": -8.4},
+		Confusion:  stats.Confusion{TP: 69, TN: 89, FP: 2},
+	}
+	s := RSSITable("Table II: first testbed", []*scenario.Outcome{out})
+	for _, want := range []string{"Table II", "69 / 69", "89 / 91", "Accuracy", "Recall", "pixel5=-8.4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("RSSITable missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig3Rendering(t *testing.T) {
+	spikes := scenario.Fig3Trace(1)
+	s := Fig3(spikes)
+	if !strings.Contains(s, "command") || !strings.Contains(s, "response") {
+		t.Fatalf("Fig3 output missing phases:\n%s", s)
+	}
+}
+
+func TestFig4Rendering(t *testing.T) {
+	cases := []scenario.Fig4Case{
+		{Name: "I: no proxy", ResponseAfter: 30 * time.Millisecond},
+		{Name: "II: hold and release", ResponseAfter: 1540 * time.Millisecond, HeldBytes: 2500},
+		{Name: "III: hold and drop", SessionClosed: true, DroppedBytes: 2500, HeldBytes: 2500},
+	}
+	s := Fig4(cases)
+	for _, want := range []string{"no proxy", "hold and release", "hold and drop", "true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig4 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig7RenderingWithHistogram(t *testing.T) {
+	study := &scenario.DelayStudy{
+		Speaker:      scenario.Echo,
+		Verification: []float64{1.2, 1.5, 1.6, 1.7, 2.1},
+	}
+	study.Summary = stats.Summarize(study.Verification)
+	study.Under2s = stats.FractionBelow(study.Verification, 2)
+	s := Fig7([]*scenario.DelayStudy{study})
+	if !strings.Contains(s, "mean=") || !strings.Contains(s, "#") {
+		t.Fatalf("Fig7 output missing stats or histogram:\n%s", s)
+	}
+}
+
+func TestFig7EmptyHistogram(t *testing.T) {
+	s := histogram(nil, 0, 4, 8)
+	if !strings.Contains(s, "no samples") {
+		t.Fatalf("expected empty-histogram marker, got:\n%s", s)
+	}
+}
+
+func TestFig6Rendering(t *testing.T) {
+	s := Fig6([]*scenario.DelayStudy{{
+		Speaker:   scenario.Echo,
+		CaseA:     80,
+		CaseB:     20,
+		Perceived: []float64{0, 0, 0.4, 1.1},
+	}})
+	if !strings.Contains(s, "80") || !strings.Contains(s, "20") {
+		t.Fatalf("Fig6 missing case counts:\n%s", s)
+	}
+}
+
+func TestFig8Rendering(t *testing.T) {
+	entries, err := scenario.RSSIMap(floorplan.House(), "A", radio.Pixel5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Fig8("Fig. 8a: Echo Dot, first location, house", entries, -8.5)
+	if !strings.Contains(s, "floor 0") || !strings.Contains(s, "floor 1") {
+		t.Fatalf("Fig8 missing floors:\n%s", s[:200])
+	}
+	if !strings.Contains(s, "#1 ") && !strings.Contains(s, "#1\t") {
+		t.Fatalf("Fig8 missing location ids")
+	}
+}
+
+func TestFig10Rendering(t *testing.T) {
+	study, err := scenario.StairTraceStudy(floorplan.House(), "A", "Echo Dot @ 1st location", radio.Pixel5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Fig10([]*scenario.TraceStudy{study})
+	for _, want := range []string{"slope band", "route1", "route2", "accuracy"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig10 missing %q", want)
+		}
+	}
+}
+
+func TestAttackTableRendering(t *testing.T) {
+	outcomes, err := scenario.AttackVectorStudy(9, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AttackTable(outcomes)
+	for _, want := range []string{"replay", "ultrasound", "laser", "100.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("AttackTable missing %q", want)
+		}
+	}
+}
+
+func TestRobustnessTableRendering(t *testing.T) {
+	points := scenario.RecognitionUnderImpairment(20, []netem.Config{
+		{},
+		{LossRate: 0.1, JitterMax: 30 * time.Millisecond},
+	}, 42)
+	s := RobustnessTable(points)
+	if !strings.Contains(s, "10%") || !strings.Contains(s, "accuracy") {
+		t.Fatalf("RobustnessTable output:\n%s", s)
+	}
+}
+
+func TestCorpusTableRendering(t *testing.T) {
+	s := CorpusTable([]scenario.CorpusAnalysis{
+		{Name: "alexa", Commands: 320, MeanWords: 5.95, FracAtLeast4: 0.88, NoDelayAtMean: 0.85},
+	})
+	if !strings.Contains(s, "alexa") || !strings.Contains(s, "5.95") {
+		t.Fatalf("CorpusTable output:\n%s", s)
+	}
+}

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"voiceguard/internal/attack"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/radio"
+)
+
+// VectorOutcome is the result of attacking through one threat vector.
+type VectorOutcome struct {
+	Profile attack.Profile
+	Attacks int
+	Blocked int
+}
+
+// BlockRate returns the fraction of attacks blocked.
+func (v VectorOutcome) BlockRate() float64 {
+	if v.Attacks == 0 {
+		return 0
+	}
+	return float64(v.Blocked) / float64(v.Attacks)
+}
+
+// AttackVectorStudy exercises every threat vector of the paper's
+// model (§II-B/§III-B) against a protected Echo Dot in the house.
+// All vectors — replay, synthesis, adversarial examples, ultrasound,
+// compromised devices, embedded media, laser injection — reduce to
+// the same speaker-to-cloud traffic once the microphone hears (or
+// believes it hears) a command, which is precisely why the
+// traffic-level defence is audio-agnostic: the per-vector block rates
+// should be statistically indistinguishable.
+func AttackVectorStudy(perVector int, seed int64) ([]VectorOutcome, error) {
+	out := make([]VectorOutcome, 0, len(attack.Catalog()))
+	for i, profile := range attack.Catalog() {
+		res, err := Run(Config{
+			Plan:    floorplan.House(),
+			Spot:    "A",
+			Speaker: Echo,
+			Devices: []DeviceSpec{
+				{ID: "pixel5", Hardware: radio.Pixel5},
+				{ID: "pixel4a", Hardware: radio.Pixel4a},
+			},
+			Days:         (perVector + 8) / 9,
+			LegitPerDay:  1, // keep owners moving realistically
+			AttackPerDay: 9,
+			Seed:         seed + int64(i)*1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vo := VectorOutcome{Profile: profile}
+		for _, r := range res.Records {
+			if !r.Malicious || vo.Attacks >= perVector {
+				continue
+			}
+			vo.Attacks++
+			if r.Blocked {
+				vo.Blocked++
+			}
+		}
+		out = append(out, vo)
+	}
+	return out, nil
+}

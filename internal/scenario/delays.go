@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"voiceguard/internal/corpus"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/rng"
+	"voiceguard/internal/stats"
+)
+
+// DelayStudy is the Fig. 6 / Fig. 7 output for one speaker: the
+// distribution of RSSI verification times over n invocations, and the
+// user-perceived delay split by the Fig. 6 cases.
+type DelayStudy struct {
+	Speaker      SpeakerKind
+	Verification []float64 // seconds, one per invocation
+	Summary      stats.Summary
+	Under2s      float64 // fraction of invocations under 2 s
+
+	// Fig. 6: case (a) — the query finishes while the user is still
+	// speaking (no perceived delay); case (b) — a residual delay
+	// remains after the command ends.
+	CaseA, CaseB int
+	Perceived    []float64 // seconds of perceived delay, one per invocation
+}
+
+// QueryDelayStudy measures the end-to-end RSSI query workflow for n
+// legitimate invocations (the paper uses 100 per speaker) in the
+// house testbed with the owner near the speaker.
+func QueryDelayStudy(speaker SpeakerKind, n int, seed int64) (*DelayStudy, error) {
+	out, err := Run(Config{
+		Plan:         floorplan.House(),
+		Spot:         "A",
+		Speaker:      speaker,
+		Devices:      []DeviceSpec{{ID: "pixel5", Hardware: radio.Pixel5}},
+		Days:         (n + 12) / 13,
+		LegitPerDay:  13,
+		AttackPerDay: 0,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	study := &DelayStudy{Speaker: speaker}
+	corp := corpus.Alexa()
+	if speaker == GHM {
+		corp = corpus.Google()
+	}
+	src := rng.New(seed).Split("delay-commands")
+	for _, rec := range out.Records {
+		if !rec.Recognized || len(study.Verification) >= n {
+			continue
+		}
+		study.Verification = append(study.Verification, rec.Verification.Seconds())
+		cmd := rng.Pick(src, corp.Commands)
+		perceived := corpus.PerceivedDelay(cmd, rec.Verification)
+		study.Perceived = append(study.Perceived, perceived.Seconds())
+		if perceived == 0 {
+			study.CaseA++
+		} else {
+			study.CaseB++
+		}
+	}
+	if len(study.Verification) < n {
+		return nil, fmt.Errorf("scenario: only %d of %d invocations recognized", len(study.Verification), n)
+	}
+	study.Summary = stats.Summarize(study.Verification)
+	study.Under2s = stats.FractionBelow(study.Verification, 2.0)
+	return study, nil
+}
+
+// CorpusAnalysis is the §V-A2 in-text experiment: command-length
+// statistics and the chance the RSSI query completes while the user
+// is speaking.
+type CorpusAnalysis struct {
+	Name          string
+	Commands      int
+	MeanWords     float64
+	FracAtLeast4  float64
+	FracAtLeast5  float64
+	NoDelayAtMean float64 // no-delay chance at the speaker's mean verification time
+}
+
+// AnalyzeCorpus computes the delay-impact statistics for a corpus and
+// a mean verification time.
+func AnalyzeCorpus(c corpus.Corpus, meanVerification time.Duration) CorpusAnalysis {
+	return CorpusAnalysis{
+		Name:          c.Name,
+		Commands:      len(c.Commands),
+		MeanWords:     c.MeanWords(),
+		FracAtLeast4:  c.FractionAtLeast(4),
+		FracAtLeast5:  c.FractionAtLeast(5),
+		NoDelayAtMean: c.NoDelayFraction(meanVerification),
+	}
+}

@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"time"
+
+	"voiceguard/internal/rng"
+	"voiceguard/internal/trafficgen"
+)
+
+// Fig3Spike is one burst in the Fig. 3 traffic timeline.
+type Fig3Spike struct {
+	Phase   trafficgen.Phase
+	StartS  float64 // seconds from the invocation start
+	EndS    float64
+	Packets int
+	Bytes   int
+}
+
+// Fig3Trace reproduces Figure 3's example interaction: the user asks
+// for tonight's NBA schedule and the Echo speaks three game schedules,
+// producing the command-phase spike followed by three response
+// spikes.
+func Fig3Trace(seed int64) []Fig3Spike {
+	echo := trafficgen.NewEcho(rng.New(seed))
+	echo.AnomalyRate = 0
+	start := time.Date(2023, 3, 1, 20, 0, 0, 0, time.UTC)
+	inv := echo.Invocation(start, 3)
+
+	out := make([]Fig3Spike, 0, len(inv.Spikes))
+	for _, s := range inv.Spikes {
+		bytes := 0
+		for _, p := range s.Packets {
+			bytes += p.Len
+		}
+		out = append(out, Fig3Spike{
+			Phase:   s.Phase,
+			StartS:  s.Packets[0].Time.Sub(start).Seconds(),
+			EndS:    s.Packets[len(s.Packets)-1].Time.Sub(start).Seconds(),
+			Packets: len(s.Packets),
+			Bytes:   bytes,
+		})
+	}
+	return out
+}

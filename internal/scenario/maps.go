@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"fmt"
+
+	"voiceguard/internal/ble"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/rng"
+)
+
+// RSSIMapEntry is one measured location of a Fig. 8 / Fig. 9 map.
+type RSSIMapEntry struct {
+	ID    int
+	Room  string
+	Floor int
+	RSSI  float64 // average of 16 measurements (4 orientations × 4)
+}
+
+// RSSIMap reproduces the per-location measurement protocol of
+// Figures 8 and 9: at every numbered location, measure the speaker's
+// Bluetooth RSSI four times in each of four orientations and average.
+func RSSIMap(plan *floorplan.Plan, spotName string, dev radio.Device, seed int64) ([]RSSIMapEntry, error) {
+	spot, ok := plan.Spot(spotName)
+	if !ok {
+		return nil, fmt.Errorf("scenario: plan %s has no spot %q", plan.Name, spotName)
+	}
+	model := radio.NewModel(plan, radio.DefaultParams(), seed)
+	root := rng.New(seed)
+
+	entries := make([]RSSIMapEntry, 0, len(plan.Locations))
+	for _, l := range plan.Locations {
+		src := root.SplitN("loc", l.ID)
+		avg := model.AverageAt(spot.Pos, l.Pos, dev, src)
+		entries = append(entries, RSSIMapEntry{
+			ID:    l.ID,
+			Room:  l.Room,
+			Floor: l.Pos.Floor,
+			RSSI:  avg,
+		})
+	}
+	return entries, nil
+}
+
+// MapThreshold runs the calibration app on the map's plan/spot and
+// returns the resulting threshold for annotating the figure.
+func MapThreshold(plan *floorplan.Plan, spotName string, dev radio.Device, seed int64) (float64, error) {
+	spot, ok := plan.Spot(spotName)
+	if !ok {
+		return 0, fmt.Errorf("scenario: plan %s has no spot %q", plan.Name, spotName)
+	}
+	model := radio.NewModel(plan, radio.DefaultParams(), seed)
+	root := rng.New(seed)
+	sc := ble.NewScanner(model, dev, root.Split("cal"))
+	adv := ble.NewAdvertiser(spot.Pos)
+
+	o := &owner{scanner: sc}
+	r := &run{cfg: Config{Plan: plan}, spot: spot, adv: adv, model: model, root: root}
+	return r.calibrate(o)
+}

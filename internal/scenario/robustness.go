@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"time"
+
+	"voiceguard/internal/netem"
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/recognize"
+	"voiceguard/internal/rng"
+	"voiceguard/internal/stats"
+	"voiceguard/internal/trafficgen"
+)
+
+// ImpairmentPoint is the recognizer's performance at one capture-loss
+// level.
+type ImpairmentPoint struct {
+	Config    netem.Config
+	Confusion stats.Confusion
+}
+
+// RecognitionUnderImpairment measures how the phase classifier
+// degrades when the guard's passive capture loses, duplicates, or
+// reorders packets (this study is not in the paper; it probes the
+// deployment assumption that the capture point sees traffic
+// faithfully). Every spike of every invocation is impaired
+// independently and classified from what survived.
+func RecognitionUnderImpairment(invocations int, configs []netem.Config, seed int64) []ImpairmentPoint {
+	points := make([]ImpairmentPoint, len(configs))
+	for ci, cfg := range configs {
+		points[ci].Config = cfg
+		src := rng.New(seed).SplitN("impair", ci)
+		echo := trafficgen.NewEcho(src.Split("traffic"))
+		echo.AnomalyRate = 0
+		at := time.Date(2023, 3, 1, 9, 0, 0, 0, time.UTC)
+		for i := 0; i < invocations; i++ {
+			inv := echo.Invocation(at, responseSpikes(src))
+			for _, s := range inv.Spikes {
+				impaired := netem.Apply(s.Packets, cfg, src.SplitN("pkt", i))
+				if len(impaired) == 0 {
+					// The whole spike was lost: nothing to classify,
+					// so a command slips through unexamined.
+					if s.Phase == trafficgen.PhaseCommand {
+						points[ci].Confusion.Add(true, false)
+					} else {
+						points[ci].Confusion.Add(false, false)
+					}
+					continue
+				}
+				predicted := recognize.ClassifyEchoSpike(pcap.Lengths(impaired)) == recognize.ClassCommand
+				points[ci].Confusion.Add(s.Phase == trafficgen.PhaseCommand, predicted)
+			}
+			at = at.Add(time.Duration(src.Uniform(60, 300)) * time.Second)
+		}
+	}
+	return points
+}

@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/stats"
+)
+
+// SensitivityPoint is the protection performance at one RF-noise
+// level.
+type SensitivityPoint struct {
+	NoiseScale float64 // multiplier on shadowing + measurement noise
+	Confusion  stats.Confusion
+}
+
+// NoiseSensitivity quantifies §IV-C's caveat — "RSSI values are not
+// very robust" — by sweeping the radio model's shadowing,
+// per-measurement noise, and orientation spread through the given
+// multipliers and re-running the house protection experiment at each
+// level. The calibration walk runs under the same noise, so the
+// learned thresholds adapt; what eventually breaks is the structural
+// separation between in-room and away RSSI.
+func NoiseSensitivity(scales []float64, days int, seed int64) ([]SensitivityPoint, error) {
+	points := make([]SensitivityPoint, 0, len(scales))
+	for i, scale := range scales {
+		params := radio.DefaultParams()
+		params.ShadowSigma *= scale
+		params.NoiseSigma *= scale
+		params.OrientSpread *= scale
+		out, err := Run(Config{
+			Plan:    floorplan.House(),
+			Spot:    "A",
+			Speaker: Echo,
+			Devices: []DeviceSpec{
+				{ID: "pixel5", Hardware: radio.Pixel5},
+				{ID: "pixel4a", Hardware: radio.Pixel4a},
+			},
+			Days:        days,
+			RadioParams: &params,
+			Seed:        seed + int64(i)*1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SensitivityPoint{NoiseScale: scale, Confusion: out.Confusion})
+	}
+	return points, nil
+}

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"testing"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/radio"
+)
+
+// TestThirtyDaySoak runs a month-long deployment with background
+// traffic in the hardest testbed — long-run stability of the
+// trackers, the recognizer state, and the decision pipeline.
+func TestThirtyDaySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("month-long soak")
+	}
+	out, err := Run(Config{
+		Plan:    floorplan.House(),
+		Spot:    "A",
+		Speaker: Echo,
+		Devices: []DeviceSpec{
+			{ID: "pixel5", Hardware: radio.Pixel5},
+			{ID: "pixel4a", Hardware: radio.Pixel4a},
+		},
+		Days:              30,
+		Seed:              93,
+		BackgroundTraffic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := out.Confusion
+	if got, want := c.Total(), 30*(13+9); got != want {
+		t.Fatalf("commands = %d, want %d", got, want)
+	}
+	if acc := c.Accuracy(); acc < 0.95 {
+		t.Fatalf("30-day accuracy %.4f below 0.95 (%v)", acc, c)
+	}
+	if rec := c.Recall(); rec < 0.97 {
+		t.Fatalf("30-day recall %.4f below 0.97 (%v)", rec, c)
+	}
+	// No drift over time: the last week must be as accurate as the
+	// first.
+	var firstWeek, lastWeek windowTally
+	for _, r := range out.Records {
+		switch {
+		case r.Day < 7:
+			firstWeek.add(r)
+		case r.Day >= 23:
+			lastWeek.add(r)
+		}
+	}
+	if lastWeek.accuracy() < firstWeek.accuracy()-0.06 {
+		t.Fatalf("accuracy drifted: first week %.3f, last week %.3f",
+			firstWeek.accuracy(), lastWeek.accuracy())
+	}
+}
+
+// windowTally is a minimal per-window tally.
+type windowTally struct{ correct, total int }
+
+func (s *windowTally) add(r CommandRecord) {
+	s.total++
+	if r.Malicious == r.Blocked {
+		s.correct++
+	}
+}
+
+func (s *windowTally) accuracy() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.correct) / float64(s.total)
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"time"
+
+	"voiceguard/internal/recognize"
+	"voiceguard/internal/rng"
+	"voiceguard/internal/stats"
+	"voiceguard/internal/trafficgen"
+)
+
+// RecognitionResult is the Table I experiment output: per-spike
+// classification of command-phase (positive) versus response-phase
+// (negative) spikes, for the phase-aware recognizer and the naive
+// any-spike-is-a-command baseline.
+type RecognitionResult struct {
+	Invocations int
+	Spikes      int
+	Confusion   stats.Confusion // phase-aware recognizer
+	Naive       stats.Confusion // naive spike detector (ablation)
+}
+
+// TrafficRecognition reproduces Table I: generate invocations on an
+// Echo Dot (with the natural anomaly rate), classify every spike, and
+// tally confusion matrices. The paper activates the speaker 134
+// times.
+func TrafficRecognition(invocations int, seed int64) RecognitionResult {
+	src := rng.New(seed)
+	echo := trafficgen.NewEcho(src.Split("traffic"))
+	res := RecognitionResult{Invocations: invocations}
+
+	at := time.Date(2023, 3, 1, 9, 0, 0, 0, time.UTC)
+	respSrc := src.Split("responses")
+	for i := 0; i < invocations; i++ {
+		inv := echo.Invocation(at, responseSpikes(respSrc))
+		for _, s := range inv.Spikes {
+			res.Spikes++
+			actual := s.Phase == trafficgen.PhaseCommand
+			predicted := recognize.ClassifyEchoSpike(s.Lengths()) == recognize.ClassCommand
+			res.Confusion.Add(actual, predicted)
+			naive := recognize.ClassifyNaive(s.Lengths()) == recognize.ClassCommand
+			res.Naive.Add(actual, naive)
+		}
+		at = at.Add(time.Duration(src.Uniform(60, 600)) * time.Second)
+	}
+	return res
+}

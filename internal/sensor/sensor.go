@@ -1,0 +1,56 @@
+// Package sensor models the Hue motion sensor the paper places near
+// the stairs (§V-B2): when anyone passes through its detection zone,
+// it raises an active event that makes the Decision Module record an
+// 8-second RSSI trace of the owner's phone.
+package sensor
+
+import (
+	"time"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/mobility"
+)
+
+// Motion is a passive-infrared motion sensor with a circular
+// detection zone on one floor.
+type Motion struct {
+	Pos    floorplan.Position
+	Radius float64
+
+	handlers []func(at time.Time)
+}
+
+// NewMotion returns a sensor at pos with the given detection radius
+// in metres.
+func NewMotion(pos floorplan.Position, radius float64) *Motion {
+	return &Motion{Pos: pos, Radius: radius}
+}
+
+// OnActive registers a callback invoked whenever the sensor fires.
+func (m *Motion) OnActive(fn func(at time.Time)) {
+	m.handlers = append(m.handlers, fn)
+}
+
+// Detects reports whether a person at p is inside the detection zone.
+func (m *Motion) Detects(p floorplan.Position) bool {
+	return p.Floor == m.Pos.Floor && p.At.Dist(m.Pos.At) <= m.Radius
+}
+
+// Trigger fires the sensor at the given time.
+func (m *Motion) Trigger(at time.Time) {
+	for _, fn := range m.handlers {
+		fn(at)
+	}
+}
+
+// FirstEntry scans a movement path and returns the first offset at
+// which the person enters the detection zone, sampling every 100 ms.
+func (m *Motion) FirstEntry(path *mobility.Path) (time.Duration, bool) {
+	const step = 100 * time.Millisecond
+	for off := time.Duration(0); off <= path.Duration(); off += step {
+		if m.Detects(path.At(off)) {
+			return off, true
+		}
+	}
+	return 0, false
+}

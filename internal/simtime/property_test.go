@@ -1,0 +1,76 @@
+package simtime
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestEventsAlwaysFireInTimestampOrder property-checks the scheduler:
+// for any multiset of delays inserted in any order, events fire
+// sorted by timestamp, FIFO among equals.
+func TestEventsAlwaysFireInTimestampOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewSim(epoch)
+		type fired struct {
+			at  time.Time
+			seq int
+		}
+		var log []fired
+		for i, d := range delays {
+			i := i
+			at := epoch.Add(time.Duration(d) * time.Millisecond)
+			s.Schedule(at, func() {
+				log = append(log, fired{at: s.Now(), seq: i})
+			})
+		}
+		s.Run()
+		if len(log) != len(delays) {
+			return false
+		}
+		// Fired timestamps must be non-decreasing and match the
+		// requested times in sorted order.
+		want := make([]time.Duration, len(delays))
+		for i, d := range delays {
+			want[i] = time.Duration(d) * time.Millisecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i, ev := range log {
+			if !ev.at.Equal(epoch.Add(want[i])) {
+				return false
+			}
+			if i > 0 && log[i-1].at.Equal(ev.at) && log[i-1].seq > ev.seq {
+				return false // FIFO violated among equal timestamps
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvanceNeverMovesBackwards property-checks clock monotonicity
+// under arbitrary Advance/AdvanceTo interleavings.
+func TestAdvanceNeverMovesBackwards(t *testing.T) {
+	f := func(steps []int16) bool {
+		s := NewSim(epoch)
+		prev := s.Now()
+		for _, st := range steps {
+			if st >= 0 {
+				s.Advance(time.Duration(st) * time.Millisecond)
+			} else {
+				s.AdvanceTo(epoch.Add(time.Duration(st) * time.Millisecond))
+			}
+			if s.Now().Before(prev) {
+				return false
+			}
+			prev = s.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

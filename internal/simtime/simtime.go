@@ -1,0 +1,198 @@
+// Package simtime provides a deterministic simulated clock and event
+// scheduler used by the trace-plane simulation.
+//
+// All simulation components (traffic generators, mobility models, the
+// guard's decision pipeline) read time from a Clock rather than calling
+// time.Now directly, so entire multi-day experiments execute in
+// microseconds and replay identically for a given seed.
+package simtime
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock supplies the current time. Production code uses Real; the
+// simulation uses *Sim.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now returns the wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Event is a scheduled callback inside a *Sim.
+type Event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+
+	index     int
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// At reports the time the event is scheduled for.
+func (e *Event) At() time.Time { return e.at }
+
+// Sim is a simulated clock with an event queue. It is not safe for
+// concurrent use; the trace-plane simulation is single-threaded by
+// design so that runs are reproducible.
+type Sim struct {
+	now    time.Time
+	nextID uint64
+	queue  eventQueue
+}
+
+var _ Clock = (*Sim)(nil)
+
+// NewSim returns a simulated clock starting at start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Schedule registers fn to run at time at. Scheduling in the past (or
+// at the current instant) runs the event on the next Advance/Run step
+// without moving the clock backwards.
+func (s *Sim) Schedule(at time.Time, fn func()) *Event {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.nextID++
+	ev := &Event{at: at, seq: s.nextID, fn: fn}
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After registers fn to run d after the current simulated time.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Every schedules fn at the given period, starting one period from
+// now, until the returned Event is cancelled.
+func (s *Sim) Every(period time.Duration, fn func()) *Event {
+	// The ticker is represented by a self-rescheduling event. The
+	// handle returned to the caller is a proxy whose Cancel stops the
+	// chain.
+	proxy := &Event{}
+	var tick func()
+	tick = func() {
+		if proxy.cancelled {
+			return
+		}
+		fn()
+		if proxy.cancelled {
+			return
+		}
+		inner := s.After(period, tick)
+		proxy.at = inner.at
+	}
+	inner := s.After(period, tick)
+	proxy.at = inner.at
+	return proxy
+}
+
+// Advance moves simulated time forward by d, running all events that
+// become due, in timestamp order (FIFO among equal timestamps).
+func (s *Sim) Advance(d time.Duration) {
+	s.AdvanceTo(s.now.Add(d))
+}
+
+// AdvanceTo moves simulated time to t, running all events due at or
+// before t. If t is in the past, AdvanceTo is a no-op.
+func (s *Sim) AdvanceTo(t time.Time) {
+	if t.Before(s.now) {
+		return
+	}
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at.After(t) {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+	}
+	s.now = t
+}
+
+// Run executes events until the queue is empty, advancing the clock to
+// each event's timestamp. Self-rescheduling events (Every) make Run
+// non-terminating; use RunUntil for those workloads.
+func (s *Sim) Run() {
+	for len(s.queue) > 0 {
+		next := heap.Pop(&s.queue).(*Event)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+	}
+}
+
+// RunUntil executes due events and stops once the clock reaches t.
+func (s *Sim) RunUntil(t time.Time) { s.AdvanceTo(t) }
+
+// Pending reports the number of live (non-cancelled) events in the
+// queue.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,178 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSimNowStartsAtEpoch(t *testing.T) {
+	s := NewSim(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestAdvanceMovesClock(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(90 * time.Second)
+	want := epoch.Add(90 * time.Second)
+	if got := s.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestScheduleRunsInOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleTieBreakIsFIFO(t *testing.T) {
+	s := NewSim(epoch)
+	var order []int
+	at := epoch.Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(at, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order = %v, want FIFO 0..4", order)
+		}
+	}
+}
+
+func TestEventSeesEventTimestamp(t *testing.T) {
+	s := NewSim(epoch)
+	var seen time.Time
+	s.After(5*time.Second, func() { seen = s.Now() })
+	s.Advance(10 * time.Second)
+	if want := epoch.Add(5 * time.Second); !seen.Equal(want) {
+		t.Fatalf("event saw %v, want %v", seen, want)
+	}
+	if want := epoch.Add(10 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("clock ended at %v, want %v", s.Now(), want)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := NewSim(epoch)
+	fired := false
+	ev := s.After(time.Second, func() { fired = true })
+	ev.Cancel()
+	s.Advance(5 * time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	s := NewSim(epoch)
+	ev := s.After(time.Second, func() {})
+	ev.Cancel()
+	ev.Cancel() // must not panic
+	var nilEv *Event
+	nilEv.Cancel() // nil-safe
+	s.Run()
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(time.Minute)
+	fired := false
+	s.Schedule(epoch, func() { fired = true })
+	s.Advance(0)
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if s.Now().Before(epoch.Add(time.Minute)) {
+		t.Fatal("clock moved backwards")
+	}
+}
+
+func TestEveryTicksAtPeriod(t *testing.T) {
+	s := NewSim(epoch)
+	var ticks []time.Time
+	ev := s.Every(30*time.Second, func() { ticks = append(ticks, s.Now()) })
+	s.Advance(95 * time.Second)
+	ev.Cancel()
+	s.Advance(120 * time.Second)
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3 (at 30/60/90s): %v", len(ticks), ticks)
+	}
+	for i, tick := range ticks {
+		want := epoch.Add(time.Duration(i+1) * 30 * time.Second)
+		if !tick.Equal(want) {
+			t.Fatalf("tick %d at %v, want %v", i, tick, want)
+		}
+	}
+}
+
+func TestEveryCancelInsideCallback(t *testing.T) {
+	s := NewSim(epoch)
+	count := 0
+	var ev *Event
+	ev = s.Every(time.Second, func() {
+		count++
+		if count == 2 {
+			ev.Cancel()
+		}
+	})
+	s.Advance(time.Minute)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestAdvanceToPastIsNoOp(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(time.Hour)
+	s.AdvanceTo(epoch)
+	if !s.Now().Equal(epoch.Add(time.Hour)) {
+		t.Fatal("AdvanceTo moved the clock backwards")
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	s := NewSim(epoch)
+	ev1 := s.After(time.Second, func() {})
+	s.After(2*time.Second, func() {})
+	ev1.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim(epoch)
+	var order []string
+	s.After(time.Second, func() {
+		order = append(order, "outer")
+		s.After(time.Second, func() { order = append(order, "inner") })
+	})
+	s.Advance(3 * time.Second)
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x - 7
+	}
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2.5) > 1e-12 || math.Abs(intercept+7) > 1e-12 {
+		t.Fatalf("fit = (%v, %v), want (2.5, -7)", slope, intercept)
+	}
+}
+
+func TestLinearFitRecoversNoisyLine(t *testing.T) {
+	// Deterministic pseudo-noise.
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		x := float64(i) * 0.2
+		noise := 0.3 * math.Sin(float64(i)*1.7)
+		xs[i] = x
+		ys[i] = -1.2*x - 3 + noise
+	}
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope+1.2) > 0.1 || math.Abs(intercept+3) > 0.5 {
+		t.Fatalf("fit = (%v, %v), want ~(-1.2, -3)", slope, intercept)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("single point: err = %v", err)
+	}
+	if _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("zero x variance: err = %v", err)
+	}
+	if _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestLinearFitPropertySlopeSignMatchesTrend(t *testing.T) {
+	f := func(a int8, b int8) bool {
+		slope := float64(a)
+		if slope == 0 {
+			return true
+		}
+		xs := []float64{0, 1, 2, 3}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = slope*x + float64(b)
+		}
+		got, _, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return (got > 0) == (slope > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusionPaperTable1(t *testing.T) {
+	// Table I: 132 TP, 2 FN, 149 TN, 0 FP.
+	c := Confusion{TP: 132, FN: 2, TN: 149, FP: 0}
+	if got := c.Total(); got != 283 {
+		t.Fatalf("total = %d, want 283", got)
+	}
+	if got := 100 * c.Accuracy(); math.Abs(got-99.29) > 0.01 {
+		t.Fatalf("accuracy = %.2f%%, want 99.29%%", got)
+	}
+	if got := c.Precision(); got != 1.0 {
+		t.Fatalf("precision = %v, want 1", got)
+	}
+	if got := 100 * c.Recall(); math.Abs(got-98.51) > 0.01 {
+		t.Fatalf("recall = %.2f%%, want 98.51%%", got)
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("unexpected counts: %+v", c)
+	}
+	if c.F1() != 0.5 {
+		t.Fatalf("F1 = %v, want 0.5", c.F1())
+	}
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Fatalf("merge result: %+v", a)
+	}
+}
+
+func TestConfusionEmptyIsZero(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion should report zeros")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	if got := Std(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 1},
+		{p: 50, want: 3},
+		{p: 100, want: 5},
+		{p: 25, want: 2},
+		{p: 75, want: 4},
+		{p: 110, want: 5},
+		{p: -5, want: 1},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("P50 of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{0.5, 1.5, 2.5, 3.5}
+	if got := FractionBelow(xs, 2.0); got != 0.5 {
+		t.Fatalf("FractionBelow = %v, want 0.5", got)
+	}
+	if FractionBelow(nil, 1) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.9, 1.5, 2.5, 3.5, -1, 10}
+	h := Histogram(xs, 0, 4, 4)
+	want := []int{3, 1, 1, 2} // -1 clamps into bin 0, 10 into bin 3
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if h := Histogram([]float64{1, 2}, 5, 5, 3); h[0] != 0 || h[1] != 0 || h[2] != 0 {
+		t.Fatal("degenerate range should count nothing")
+	}
+	if h := Histogram([]float64{1}, 0, 1, 0); len(h) != 0 {
+		t.Fatal("zero bins should return empty histogram")
+	}
+}
+
+func TestHistogramTotalPreserved(t *testing.T) {
+	f := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		h := Histogram(xs, 0, 256, 16)
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

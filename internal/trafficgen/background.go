@@ -1,0 +1,62 @@
+package trafficgen
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/rng"
+)
+
+// Background synthesises unrelated home-network chatter over the
+// window [start, start+dur): laptops browsing, a TV streaming, phones
+// syncing. The guard captures everything on the LAN, so the
+// recognizer must ignore all of it — it keys on the speaker's IP and
+// the tracked cloud flow (§IV-B1: "The traffic flows originating from
+// a smart speaker are complex and only some of them are related to
+// voice commands", and other hosts' flows even more so).
+func Background(src *rng.Source, start time.Time, dur time.Duration) ([]pcap.Packet, error) {
+	hosts := []string{
+		"192.168.1.50", // laptop
+		"192.168.1.51", // smart TV
+		"192.168.1.52", // tablet
+	}
+	var out []pcap.Packet
+	at := start
+	end := start.Add(dur)
+	port := 52000
+	for at.Before(end) {
+		host := rng.Pick(src, hosts)
+		port++
+
+		dst, err := netip.ParseAddr(fmt.Sprintf("93.184.%d.%d", 1+src.IntN(250), 1+src.IntN(250)))
+		if err != nil {
+			return nil, err
+		}
+		// Occasional DNS lookup for an unrelated domain.
+		if src.Bool(0.4) {
+			name := fmt.Sprintf("cdn%d.example.com", src.IntN(50))
+			dns, err := dnsExchange(at, host, port, name, dst, src)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, dns...)
+			at = dns[1].Time.Add(intraSpikeGap(src))
+		}
+
+		// A short TLS burst: handshake + a few data packets. The data
+		// deliberately includes marker-valued lengths — other hosts
+		// may emit any length; only the speaker's flow may be
+		// interpreted.
+		out = append(out, handshakePacket(at, host, port, dst.String(), TLSPort, 200+src.IntN(120)))
+		at = at.Add(intraSpikeGap(src))
+		for i, n := 0, 3+src.IntN(8); i < n; i++ {
+			length := rng.Pick(src, []int{138, 75, 77, 33, 277, 480, 1100, 1400})
+			out = append(out, appDataPacket(at, host, port, dst.String(), TLSPort, length))
+			at = at.Add(intraSpikeGap(src))
+		}
+		at = at.Add(time.Duration(src.Uniform(2, 30)) * time.Second)
+	}
+	return out, nil
+}

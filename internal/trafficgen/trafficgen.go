@@ -1,0 +1,244 @@
+// Package trafficgen synthesises the network traffic of the two smart
+// speakers the paper evaluates. It reproduces the packet-level
+// features §IV-B keys on:
+//
+//   - the Echo Dot's AVS connection-establishment signature
+//     (63, 33, 653, 131, ... as Application Data lengths),
+//   - 41-byte heartbeats every 30 seconds,
+//   - two-phase voice-command traffic (command phase with p-138/p-75
+//     markers or one of three fixed fallback patterns; response phase
+//     with adjacent p-77/p-33 markers),
+//   - occasional AVS reconnections to a new IP, with and without a
+//     preceding DNS exchange,
+//   - the Google Home Mini's on-demand connections over TCP or QUIC
+//     with no response spikes.
+//
+// All packets carry real TLS-record or DNS payloads so the recognizer
+// can parse the same unencrypted headers the paper's Wireshark-based
+// analysis reads.
+package trafficgen
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/rng"
+)
+
+// Network constants for the simulated home LAN.
+const (
+	EchoIP   = "192.168.1.200"
+	GHMIP    = "192.168.1.201"
+	RouterIP = "192.168.1.1"
+
+	// AVSDomain is the Echo Dot's voice-service endpoint (§IV-B1).
+	AVSDomain = "avs-alexa-4-na.amazon.com"
+	// GoogleDomain is the Google Home Mini's endpoint.
+	GoogleDomain = "www.google.com"
+
+	// TLSPort is the cloud servers' TLS port.
+	TLSPort = 443
+	// QUICPort is the cloud servers' QUIC port.
+	QUICPort = 443
+)
+
+// HeartbeatInterval and HeartbeatLen describe the Echo Dot's
+// keep-alive: a 41-byte packet every 30 seconds.
+const (
+	HeartbeatInterval = 30 * time.Second
+	HeartbeatLen      = 41
+)
+
+// AVSConnectSignature is the packet-length sequence (bytes) of an
+// Echo Dot establishing a connection with the AVS server, as reported
+// in §IV-B1.
+var AVSConnectSignature = []int{63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33}
+
+// OtherServer describes a non-AVS Amazon endpoint the Echo Dot also
+// talks to; each has a distinct connect signature so signature
+// matching can tell them apart (the paper compares against six).
+type OtherServer struct {
+	Domain    string
+	Signature []int
+}
+
+// OtherAmazonServers are the six non-AVS endpoints used to validate
+// signature distinctness.
+var OtherAmazonServers = []OtherServer{
+	{Domain: "device-metrics-us.amazon.com", Signature: []int{63, 33, 587, 131, 73, 90, 188}},
+	{Domain: "dcape-na.amazon.com", Signature: []int{63, 33, 653, 117, 73, 131, 205}},
+	{Domain: "api.amazon.com", Signature: []int{71, 33, 653, 131, 73, 131, 188, 73, 99}},
+	{Domain: "softwareupdates.amazon.com", Signature: []int{63, 41, 512, 131, 73}},
+	{Domain: "ntp-g7g.amazon.com", Signature: []int{48, 48, 48}},
+	{Domain: "todo-ta-g7g.amazon.com", Signature: []int{63, 33, 653, 131, 88, 131, 188, 73, 131, 73, 140}},
+}
+
+// Phase labels a ground-truth spike phase.
+type Phase int
+
+// Spike phases (paper Fig. 3).
+const (
+	PhaseCommand  Phase = iota + 1 // first phase: the voice command
+	PhaseResponse                  // second phase: the spoken response
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCommand:
+		return "command"
+	case PhaseResponse:
+		return "response"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// LabeledSpike is a generated spike with its ground-truth phase.
+type LabeledSpike struct {
+	Phase   Phase
+	Packets []pcap.Packet
+}
+
+// Lengths returns the payload lengths of the spike's packets.
+func (s LabeledSpike) Lengths() []int { return pcap.Lengths(s.Packets) }
+
+// Invocation is one full speaker invocation: the command-phase spike
+// and zero or more response-phase spikes, plus any connection-setup
+// packets (DNS, handshake) that preceded it.
+type Invocation struct {
+	Speaker string
+	Start   time.Time
+	Setup   []pcap.Packet // DNS + handshake (GHM on-demand connections)
+	Spikes  []LabeledSpike
+}
+
+// All returns every packet of the invocation in time order.
+func (inv Invocation) All() []pcap.Packet {
+	var out []pcap.Packet
+	out = append(out, inv.Setup...)
+	for _, s := range inv.Spikes {
+		out = append(out, s.Packets...)
+	}
+	pcap.SortByTime(out)
+	return out
+}
+
+// CommandSpike returns the invocation's command-phase spike.
+func (inv Invocation) CommandSpike() LabeledSpike {
+	for _, s := range inv.Spikes {
+		if s.Phase == PhaseCommand {
+			return s
+		}
+	}
+	return LabeledSpike{}
+}
+
+// mustAppData builds an application-data payload of the given wire
+// length, padding undersized lengths up to the minimum record size.
+// Signature lengths in this package are all >= 5 bytes.
+func mustAppData(wireLen int) []byte {
+	if wireLen < 5 {
+		wireLen = 5
+	}
+	b, err := pcap.AppData(wireLen)
+	if err != nil {
+		panic(err) // unreachable: length clamped above
+	}
+	return b
+}
+
+// appDataPacket builds a client-to-server application-data packet.
+func appDataPacket(t time.Time, srcIP string, srcPort int, dstIP string, dstPort int, wireLen int) pcap.Packet {
+	payload := mustAppData(wireLen)
+	return pcap.Packet{
+		Time:  t,
+		SrcIP: srcIP, SrcPort: srcPort,
+		DstIP: dstIP, DstPort: dstPort,
+		Proto:   pcap.TCP,
+		Len:     len(payload),
+		Payload: payload,
+	}
+}
+
+// handshakePacket builds a TLS handshake packet (ClientHello etc.).
+func handshakePacket(t time.Time, srcIP string, srcPort int, dstIP string, dstPort int, payloadLen int) pcap.Packet {
+	payload := pcap.EncodeRecord(pcap.Record{
+		Type:    pcap.RecordHandshake,
+		Version: pcap.TLS12Version,
+		Payload: make([]byte, payloadLen),
+	})
+	return pcap.Packet{
+		Time:  t,
+		SrcIP: srcIP, SrcPort: srcPort,
+		DstIP: dstIP, DstPort: dstPort,
+		Proto:   pcap.TCP,
+		Len:     len(payload),
+		Payload: payload,
+	}
+}
+
+// dnsExchange builds a query/response pair for name resolving to
+// addr. The response arrives 10-40 ms after the query.
+func dnsExchange(t time.Time, clientIP string, clientPort int, name string, addr netip.Addr, src *rng.Source) ([]pcap.Packet, error) {
+	id := uint16(src.IntN(1 << 16))
+	q, err := pcap.EncodeDNSQuery(id, name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := pcap.EncodeDNSResponse(id, name, addr)
+	if err != nil {
+		return nil, err
+	}
+	latency := time.Duration(src.Uniform(10, 40)) * time.Millisecond
+	return []pcap.Packet{
+		{
+			Time:  t,
+			SrcIP: clientIP, SrcPort: clientPort,
+			DstIP: RouterIP, DstPort: pcap.DNSPort,
+			Proto: pcap.UDP, Len: len(q), Payload: q,
+		},
+		{
+			Time:  t.Add(latency),
+			SrcIP: RouterIP, SrcPort: pcap.DNSPort,
+			DstIP: clientIP, DstPort: clientPort,
+			Proto: pcap.UDP, Len: len(r), Payload: r,
+		},
+	}, nil
+}
+
+// intraSpikeGap draws a sub-second inter-packet interval, keeping the
+// spike together under the recognizer's one-second idle-gap rule.
+func intraSpikeGap(src *rng.Source) time.Duration {
+	return time.Duration(src.Uniform(10, 150)) * time.Millisecond
+}
+
+// containsAdjacent reports whether lengths contains a followed
+// immediately by b within the first limit entries.
+func containsAdjacent(lengths []int, a, b, limit int) bool {
+	if limit > len(lengths) {
+		limit = len(lengths)
+	}
+	for i := 0; i+1 < limit; i++ {
+		if lengths[i] == a && lengths[i+1] == b {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWithin reports whether v appears within the first limit
+// entries of lengths.
+func containsWithin(lengths []int, v, limit int) bool {
+	if limit > len(lengths) {
+		limit = len(lengths)
+	}
+	for _, l := range lengths[:limit] {
+		if l == v {
+			return true
+		}
+	}
+	return false
+}

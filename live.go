@@ -1,0 +1,123 @@
+package voiceguard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"voiceguard/internal/proxy"
+)
+
+// DecisionFunc decides whether the voice command currently held by
+// the live proxy is legitimate. It runs on its own goroutine while
+// the traffic stays held; returning true releases the held bytes to
+// the cloud, false drops them (terminating the TLS session).
+type DecisionFunc func(ctx context.Context) bool
+
+// LiveProxy runs the Traffic Handler on real sockets: a transparent
+// TCP proxy between the speaker and its cloud server that holds each
+// traffic burst while a DecisionFunc delivers a verdict.
+type LiveProxy struct {
+	tcp    *proxy.TCP
+	decide DecisionFunc
+
+	mu       sync.Mutex
+	held     int
+	released int
+	dropped  int
+
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// LiveStats summarises a LiveProxy's activity.
+type LiveStats struct {
+	HeldBursts     int
+	ReleasedBursts int
+	DroppedBursts  int
+}
+
+// StartLiveProxy listens on listenAddr and forwards to upstreamAddr.
+// The first chunk of every client burst triggers a hold; decide is
+// then consulted and the burst released or dropped. idleGap defines
+// when a new chunk starts a new burst.
+func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGap time.Duration) (*LiveProxy, error) {
+	if decide == nil {
+		return nil, fmt.Errorf("voiceguard: a DecisionFunc is required")
+	}
+	if idleGap <= 0 {
+		idleGap = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	lp := &LiveProxy{decide: decide, ctx: ctx, cancel: cancel}
+
+	lastChunk := make(map[*proxy.Session]time.Time)
+	var mu sync.Mutex
+
+	tcp, err := proxy.NewTCP(listenAddr,
+		func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", upstreamAddr)
+		},
+		proxy.WithTap(func(s *proxy.Session, data []byte) {
+			mu.Lock()
+			last, seen := lastChunk[s]
+			now := time.Now()
+			lastChunk[s] = now
+			newBurst := !seen || now.Sub(last) >= idleGap
+			mu.Unlock()
+			if !newBurst || s.Holding() {
+				return
+			}
+			s.Hold()
+			lp.mu.Lock()
+			lp.held++
+			lp.mu.Unlock()
+			lp.wg.Add(1)
+			go lp.adjudicate(s)
+		}))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	lp.tcp = tcp
+	return lp, nil
+}
+
+// adjudicate runs the decision for one held burst.
+func (lp *LiveProxy) adjudicate(s *proxy.Session) {
+	defer lp.wg.Done()
+	if lp.decide(lp.ctx) {
+		_ = s.Release()
+		lp.mu.Lock()
+		lp.released++
+		lp.mu.Unlock()
+		return
+	}
+	s.Drop()
+	lp.mu.Lock()
+	lp.dropped++
+	lp.mu.Unlock()
+}
+
+// Addr returns the proxy's listen address.
+func (lp *LiveProxy) Addr() string { return lp.tcp.Addr() }
+
+// Stats returns the proxy's burst counters.
+func (lp *LiveProxy) Stats() LiveStats {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	return LiveStats{HeldBursts: lp.held, ReleasedBursts: lp.released, DroppedBursts: lp.dropped}
+}
+
+// Close stops the proxy, cancels in-flight decisions, and waits for
+// all goroutines.
+func (lp *LiveProxy) Close() error {
+	lp.cancel()
+	err := lp.tcp.Close()
+	lp.wg.Wait()
+	return err
+}

@@ -1,0 +1,243 @@
+package voiceguard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"voiceguard/internal/pcap"
+	"voiceguard/internal/proxy"
+	"voiceguard/internal/recognize"
+)
+
+// speakerWireIP / cloudWireIP are the synthetic addresses the live
+// guard uses when converting stream records into packet records for
+// the recognizer. The guard sits inline on a single speaker-to-cloud
+// path, so the endpoints' identities are fixed by construction.
+const (
+	speakerWireIP = "10.99.0.2"
+	cloudWireIP   = "10.99.0.1"
+)
+
+// LiveGuard is the full Traffic Processing Module on real sockets:
+// a transparent TCP proxy whose client-to-cloud byte stream is parsed
+// into TLS records, classified by the same streaming recognizer the
+// simulation uses, and held/released/dropped according to the
+// recognizer's verdict and the DecisionFunc.
+//
+// Unlike LiveProxy (which holds every burst), LiveGuard only holds
+// spikes the recognizer is still classifying, immediately releases
+// response-phase spikes, and consults the DecisionFunc only for
+// recognized voice commands — the paper's Fig. 2 pipeline end to end.
+type LiveGuard struct {
+	tcp    *proxy.TCP
+	decide DecisionFunc
+	idle   time.Duration
+
+	mu       sync.Mutex
+	sessions map[*proxy.Session]*liveSession
+	stats    LiveGuardStats
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// LiveGuardStats counts the guard's traffic-handling outcomes.
+type LiveGuardStats struct {
+	CommandsHeld     int // spikes recognized as voice commands
+	CommandsReleased int // legitimate commands forwarded
+	CommandsDropped  int // malicious commands discarded
+	NonCommands      int // spikes released without a decision query
+}
+
+// liveSession is per-connection recognizer state.
+type liveSession struct {
+	rec       *recognize.Recognizer
+	buf       []byte // unparsed stream bytes
+	srcPort   int
+	deciding  bool
+	idleTimer *time.Timer
+}
+
+// StartLiveGuard launches the wire-plane guard: listen on listenAddr,
+// forward to upstreamAddr, and adjudicate recognized voice commands
+// with decide. idleGap separates traffic spikes (the paper uses one
+// second).
+func StartLiveGuard(listenAddr, upstreamAddr string, decide DecisionFunc, idleGap time.Duration) (*LiveGuard, error) {
+	if decide == nil {
+		return nil, fmt.Errorf("voiceguard: a DecisionFunc is required")
+	}
+	if idleGap <= 0 {
+		idleGap = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &LiveGuard{
+		decide:   decide,
+		idle:     idleGap,
+		sessions: make(map[*proxy.Session]*liveSession),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+
+	nextPort := 40000
+	tcp, err := proxy.NewTCP(listenAddr,
+		func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", upstreamAddr)
+		},
+		proxy.WithTap(func(s *proxy.Session, data []byte) {
+			g.mu.Lock()
+			ls, ok := g.sessions[s]
+			if !ok {
+				nextPort++
+				ls = g.newSession(nextPort)
+				g.sessions[s] = ls
+			}
+			g.feedLocked(s, ls, data)
+			g.mu.Unlock()
+		}))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	g.tcp = tcp
+	return g, nil
+}
+
+// newSession builds the per-connection recognizer, pinned to the
+// wire-plane endpoint identities.
+func (g *LiveGuard) newSession(srcPort int) *liveSession {
+	rec := recognize.NewEcho(speakerWireIP)
+	rec.IdleGap = g.idle
+	rec.Tracker.ForceAddress(netip.MustParseAddr(cloudWireIP))
+	return &liveSession{rec: rec, srcPort: srcPort}
+}
+
+// feedLocked parses newly arrived stream bytes into records and runs
+// the recognizer over them. Callers hold g.mu.
+func (g *LiveGuard) feedLocked(s *proxy.Session, ls *liveSession, data []byte) {
+	ls.buf = append(ls.buf, data...)
+	now := time.Now()
+	for {
+		records, rest, ok := splitOneRecord(ls.buf)
+		if !ok {
+			return
+		}
+		ls.buf = rest
+		p := pcap.Packet{
+			Time:  now,
+			SrcIP: speakerWireIP, SrcPort: ls.srcPort,
+			DstIP: cloudWireIP, DstPort: 443,
+			Proto:   pcap.TCP,
+			Len:     len(records),
+			Payload: records,
+		}
+		g.handleAction(s, ls, ls.rec.Feed(p))
+	}
+}
+
+// handleAction applies one recognizer verdict. Callers hold g.mu.
+func (g *LiveGuard) handleAction(s *proxy.Session, ls *liveSession, action recognize.Action) {
+	switch action {
+	case recognize.ActionHold:
+		s.Hold()
+		g.armIdleTimer(s, ls)
+	case recognize.ActionNone:
+		if s.Holding() {
+			g.armIdleTimer(s, ls)
+		}
+	case recognize.ActionCommand:
+		g.disarmIdleTimer(ls)
+		if ls.deciding {
+			return
+		}
+		ls.deciding = true
+		g.stats.CommandsHeld++
+		g.wg.Add(1)
+		go g.adjudicate(s, ls)
+	case recognize.ActionRelease:
+		g.disarmIdleTimer(ls)
+		g.stats.NonCommands++
+		_ = s.Release()
+	}
+}
+
+// armIdleTimer schedules spike finalisation; an undecided spike whose
+// traffic stops is released, as the simulation guard does.
+func (g *LiveGuard) armIdleTimer(s *proxy.Session, ls *liveSession) {
+	g.disarmIdleTimer(ls)
+	ls.idleTimer = time.AfterFunc(g.idle, func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if ls.rec.EndSpike() == recognize.ActionRelease {
+			g.stats.NonCommands++
+			_ = s.Release()
+		}
+	})
+}
+
+func (g *LiveGuard) disarmIdleTimer(ls *liveSession) {
+	if ls.idleTimer != nil {
+		ls.idleTimer.Stop()
+		ls.idleTimer = nil
+	}
+}
+
+// adjudicate consults the DecisionFunc for one held command.
+func (g *LiveGuard) adjudicate(s *proxy.Session, ls *liveSession) {
+	defer g.wg.Done()
+	legit := g.decide(g.ctx)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ls.deciding = false
+	if legit {
+		g.stats.CommandsReleased++
+		_ = s.Release()
+		return
+	}
+	g.stats.CommandsDropped++
+	s.Drop()
+}
+
+// Addr returns the guard's listen address.
+func (g *LiveGuard) Addr() string { return g.tcp.Addr() }
+
+// Stats returns the guard's counters.
+func (g *LiveGuard) Stats() LiveGuardStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Close stops the guard and waits for in-flight decisions.
+func (g *LiveGuard) Close() error {
+	g.cancel()
+	err := g.tcp.Close()
+	g.wg.Wait()
+	g.mu.Lock()
+	for _, ls := range g.sessions {
+		g.disarmIdleTimer(ls)
+	}
+	g.mu.Unlock()
+	return err
+}
+
+// splitOneRecord extracts one complete TLS record from the front of
+// buf, returning (record bytes, remainder, true), or ok=false if the
+// buffer does not yet hold a full record.
+func splitOneRecord(buf []byte) (record, rest []byte, ok bool) {
+	const headerLen = 5
+	if len(buf) < headerLen {
+		return nil, buf, false
+	}
+	n := int(buf[3])<<8 | int(buf[4])
+	total := headerLen + n
+	if len(buf) < total {
+		return nil, buf, false
+	}
+	return buf[:total:total], buf[total:], true
+}

@@ -1,0 +1,195 @@
+package voiceguard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"voiceguard/internal/emul"
+	"voiceguard/internal/trafficgen"
+)
+
+// liveFixture wires cloud ← guard ← speaker on loopback with a
+// controllable decision channel.
+type liveFixture struct {
+	cloud    *emul.CloudServer
+	guard    *LiveGuard
+	verdicts chan bool
+}
+
+func newLiveFixture(t *testing.T, idleGap time.Duration) *liveFixture {
+	t.Helper()
+	cloud, err := emul.NewCloudServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cloud.Close() })
+
+	verdicts := make(chan bool, 8)
+	guard, err := StartLiveGuard("127.0.0.1:0", cloud.Addr(), func(ctx context.Context) bool {
+		select {
+		case v := <-verdicts:
+			return v
+		case <-ctx.Done():
+			return false
+		}
+	}, idleGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = guard.Close() })
+	return &liveFixture{cloud: cloud, guard: guard, verdicts: verdicts}
+}
+
+// commandLengths is a marker-bearing Echo command phase: activation
+// packet, p-138 marker within the first five, then upload records.
+var commandLengths = []int{277, 138, 90, 113, 131, 1100, 1200, 1150}
+
+// responseLengths is a response-phase spike: p-77/p-33 adjacent.
+var responseLengths = []int{90, 77, 33, 162, 210, 350}
+
+func waitStats(t *testing.T, g *LiveGuard, cond func(LiveGuardStats) bool) LiveGuardStats {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := g.Stats(); cond(s) {
+			return s
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("stats condition never met: %+v", g.Stats())
+	return LiveGuardStats{}
+}
+
+func TestLiveGuardReleasesLegitimateCommand(t *testing.T) {
+	f := newLiveFixture(t, 300*time.Millisecond)
+	speaker, err := emul.DialSpeaker(f.guard.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+
+	f.verdicts <- true
+	if err := speaker.SendPattern(commandLengths, emul.MsgCommand); err != nil {
+		t.Fatal(err)
+	}
+	// End-of-command frame so the cloud answers once released.
+	if err := speaker.SendPattern([]int{60}, emul.MsgEnd); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := speaker.Await(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != emul.MsgResponse {
+		t.Fatalf("frame = %c, want response", frame.Type)
+	}
+	stats := waitStats(t, f.guard, func(s LiveGuardStats) bool { return s.CommandsReleased == 1 })
+	if stats.CommandsHeld != 1 || stats.CommandsDropped != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if f.cloud.CompletedCommands() != 1 {
+		t.Fatalf("cloud completed %d commands", f.cloud.CompletedCommands())
+	}
+}
+
+func TestLiveGuardDropsMaliciousCommand(t *testing.T) {
+	f := newLiveFixture(t, 300*time.Millisecond)
+	speaker, err := emul.DialSpeaker(f.guard.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+
+	f.verdicts <- false
+	if err := speaker.SendPattern(commandLengths, emul.MsgCommand); err != nil {
+		t.Fatal(err)
+	}
+	if err := speaker.SendPattern([]int{60}, emul.MsgEnd); err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, f.guard, func(s LiveGuardStats) bool { return s.CommandsDropped == 1 })
+
+	// The speaker keeps talking; the cloud aborts on the sequence gap.
+	if err := speaker.SendHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := speaker.Await(3 * time.Second); !errors.Is(err, emul.ErrSessionClosed) && err == nil {
+		t.Fatalf("await after drop: %v, want session closed or reset", err)
+	}
+	if f.cloud.CompletedCommands() != 0 {
+		t.Fatalf("dropped command executed: %d", f.cloud.CompletedCommands())
+	}
+}
+
+func TestLiveGuardReleasesResponseSpikeWithoutQuery(t *testing.T) {
+	f := newLiveFixture(t, 300*time.Millisecond)
+	speaker, err := emul.DialSpeaker(f.guard.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+
+	// A response-phase spike: the guard must classify and release it
+	// without consulting the DecisionFunc (the verdicts channel stays
+	// empty; a query would block forever).
+	if err := speaker.SendPattern(responseLengths, emul.MsgCommand); err != nil {
+		t.Fatal(err)
+	}
+	stats := waitStats(t, f.guard, func(s LiveGuardStats) bool { return s.NonCommands >= 1 })
+	if stats.CommandsHeld != 0 {
+		t.Fatalf("response spike triggered a decision query: %+v", stats)
+	}
+}
+
+func TestLiveGuardIgnoresHeartbeats(t *testing.T) {
+	f := newLiveFixture(t, 200*time.Millisecond)
+	speaker, err := emul.DialSpeaker(f.guard.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+
+	// Heartbeats are 41-byte application-data records; they must pass
+	// straight through with no holding and get acknowledged.
+	for i := 0; i < 3; i++ {
+		if err := speaker.SendPattern([]int{trafficgen.HeartbeatLen}, emul.MsgHeartbeat); err != nil {
+			t.Fatal(err)
+		}
+		frame, err := speaker.Await(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame.Type != emul.MsgAck {
+			t.Fatalf("heartbeat reply = %c", frame.Type)
+		}
+		time.Sleep(250 * time.Millisecond) // separate spikes
+	}
+	stats := f.guard.Stats()
+	if stats.CommandsHeld != 0 || stats.NonCommands != 0 {
+		t.Fatalf("heartbeats disturbed the guard: %+v", stats)
+	}
+}
+
+func TestLiveGuardShortSpikeReleasedOnIdle(t *testing.T) {
+	f := newLiveFixture(t, 200*time.Millisecond)
+	speaker, err := emul.DialSpeaker(f.guard.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+
+	// Two records then silence: below the classification window, so
+	// the idle timer must release the held bytes.
+	if err := speaker.SendPattern([]int{90, 101}, emul.MsgCommand); err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, f.guard, func(s LiveGuardStats) bool { return s.NonCommands >= 1 })
+}
+
+func TestLiveGuardValidation(t *testing.T) {
+	if _, err := StartLiveGuard("127.0.0.1:0", "127.0.0.1:1", nil, time.Second); err == nil {
+		t.Fatal("nil decision accepted")
+	}
+}
