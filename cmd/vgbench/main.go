@@ -18,6 +18,7 @@ import (
 
 	"voiceguard/internal/corpus"
 	"voiceguard/internal/floorplan"
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/netem"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/report"
@@ -46,6 +47,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vgbench:", err)
 		os.Exit(1)
 	}
+	// The metrics table makes every bench run double as regression
+	// evidence: counter and latency drift shows up in the diff.
+	fmt.Println("\n== metrics ==")
+	_ = metrics.WriteTable(os.Stdout, metrics.Default.Snapshot())
 }
 
 // csvInto, when non-empty, is the directory figure CSVs are written

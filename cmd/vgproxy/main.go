@@ -7,6 +7,7 @@
 // Usage:
 //
 //	vgproxy -commands 4 -hold 1.5s -verdict alternate
+//	vgproxy -metrics-addr 127.0.0.1:9090   # serve live metrics over HTTP
 package main
 
 import (
@@ -14,35 +15,69 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sync/atomic"
 	"time"
 
 	"voiceguard"
 	"voiceguard/internal/emul"
+	"voiceguard/internal/metrics"
 )
 
 func main() {
 	var (
-		commands = flag.Int("commands", 4, "voice commands to issue")
-		hold     = flag.Duration("hold", 1500*time.Millisecond, "hold duration while deciding")
-		verdict  = flag.String("verdict", "alternate", "decision policy: allow|block|alternate")
+		commands    = flag.Int("commands", 4, "voice commands to issue")
+		hold        = flag.Duration("hold", 1500*time.Millisecond, "hold duration while deciding")
+		verdict     = flag.String("verdict", "alternate", "decision policy: allow|block|alternate")
+		metricsAddr = flag.String("metrics-addr", "", "serve the metrics snapshot over HTTP on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
-	if err := run(*commands, *hold, *verdict); err != nil {
+	if err := validateVerdict(*verdict); err != nil {
+		fmt.Fprintln(os.Stderr, "vgproxy:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*commands, *hold, *verdict, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "vgproxy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(commands int, hold time.Duration, verdict string) error {
+// validateVerdict rejects unknown -verdict values up front: a typo
+// must fail loudly with usage, not silently behave like "alternate".
+func validateVerdict(v string) error {
+	switch v {
+	case "allow", "block", "alternate":
+		return nil
+	default:
+		return fmt.Errorf("invalid -verdict %q (want allow, block, or alternate)", v)
+	}
+}
+
+func run(commands int, hold time.Duration, verdict, metricsAddr string) error {
+	if err := validateVerdict(verdict); err != nil {
+		return err
+	}
 	cloud, err := emul.NewCloudServer("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	defer cloud.Close()
 	fmt.Printf("cloud server   %s\n", cloud.Addr())
+
+	if metricsAddr != "" {
+		lis, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: metrics.Handler(metrics.Default)}
+		go func() { _ = srv.Serve(lis) }()
+		defer srv.Close()
+		fmt.Printf("metrics        http://%s/ (text; ?format=json for JSON)\n", lis.Addr())
+	}
 
 	var counter atomic.Int64
 	decide := func(ctx context.Context) bool {
@@ -95,5 +130,6 @@ func run(commands int, hold time.Duration, verdict string) error {
 		stats.HeldBursts, stats.ReleasedBursts, stats.DroppedBursts)
 	fmt.Printf("cloud executed %d command(s); %d session(s) aborted on sequence gaps\n",
 		cloud.CompletedCommands(), cloud.SequenceAborts())
-	return nil
+	fmt.Println("\n== metrics ==")
+	return metrics.WriteTable(os.Stdout, metrics.Default.Snapshot())
 }

@@ -1,24 +1,100 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"testing"
 	"time"
 )
 
 func TestRunAlternatePolicy(t *testing.T) {
-	if err := run(4, 50*time.Millisecond, "alternate"); err != nil {
+	if err := run(4, 50*time.Millisecond, "alternate", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllowPolicy(t *testing.T) {
-	if err := run(2, 30*time.Millisecond, "allow"); err != nil {
+	if err := run(2, 30*time.Millisecond, "allow", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBlockPolicy(t *testing.T) {
-	if err := run(2, 30*time.Millisecond, "block"); err != nil {
+	if err := run(2, 30*time.Millisecond, "block", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateVerdict(t *testing.T) {
+	cases := []struct {
+		verdict string
+		wantErr bool
+	}{
+		{"allow", false},
+		{"block", false},
+		{"alternate", false},
+		{"", true},
+		{"allw", true},
+		{"ALLOW", true},
+		{"deny", true},
+		{"alternate ", true},
+	}
+	for _, c := range cases {
+		err := validateVerdict(c.verdict)
+		if gotErr := err != nil; gotErr != c.wantErr {
+			t.Errorf("validateVerdict(%q) error = %v, want error %v", c.verdict, err, c.wantErr)
+		}
+	}
+}
+
+func TestRunRejectsBadVerdict(t *testing.T) {
+	if err := run(1, time.Millisecond, "deny", ""); err == nil {
+		t.Fatal("run accepted an invalid verdict")
+	}
+}
+
+func TestRunServesMetrics(t *testing.T) {
+	// Hold a port briefly to learn a free address, then hand it to run.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	_ = lis.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- run(1, 2*time.Second, "allow", addr) }()
+
+	// While the command's hold is pending, the metrics endpoint must
+	// answer in both formats.
+	var body []byte
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/?format=json", addr))
+		if err == nil {
+			body, err = io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("metrics endpoint returned invalid JSON: %v\n%s", err, body)
+	}
+	if _, ok := decoded["counters"]; !ok {
+		t.Fatalf("metrics JSON missing counters: %s", body)
+	}
+
+	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
 }

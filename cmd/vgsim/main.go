@@ -17,6 +17,7 @@ import (
 
 	"voiceguard"
 	"voiceguard/internal/floorplan"
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/scenario"
 )
@@ -50,12 +51,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vgsim:", err)
 			os.Exit(1)
 		}
+		printMetrics()
 		return
 	}
 	if err := run(*testbed, *spot, *speaker, *days, *seed, *devices, *noTrack, *perDevice, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "vgsim:", err)
 		os.Exit(1)
 	}
+	printMetrics()
+}
+
+// printMetrics dumps the guard-wide metrics table at exit, turning
+// every simulation run into instrumentation evidence.
+func printMetrics() {
+	fmt.Println("\n== metrics ==")
+	_ = metrics.WriteTable(os.Stdout, metrics.Default.Snapshot())
 }
 
 // exportPlan dumps a built-in testbed in the custom-plan JSON schema.

@@ -41,6 +41,7 @@ func (t *FloorTracker) SetLevel(level int) {
 // OnMotionTrace processes the RSSI trace recorded after a stairway
 // motion event and returns the classification applied.
 func (t *FloorTracker) OnMotionTrace(trace []float64) (TraceClass, error) {
+	mFloorTraces.Inc()
 	f, err := ExtractFeatures(trace)
 	if err != nil {
 		return TraceOther, err

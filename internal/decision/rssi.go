@@ -5,10 +5,22 @@ import (
 	"time"
 
 	"voiceguard/internal/ble"
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/mobility"
 	"voiceguard/internal/push"
 	"voiceguard/internal/simtime"
 	"voiceguard/internal/stats"
+)
+
+// Decision Module metrics: query volume, outcome split, timeout rate,
+// and the full query round trip (request issued → verdict) on the
+// paper's Fig. 6/7 scale. Durations are simulated-clock time.
+var (
+	mRSSIQueries    = metrics.NewCounter("decision_rssi_queries_total")
+	mQueryTimeouts  = metrics.NewCounter("decision_query_timeouts_total")
+	mRoundTrip      = metrics.NewHistogram("decision_roundtrip_seconds")
+	mFloorOverrides = metrics.NewCounter("decision_floor_overrides_total")
+	mFloorTraces    = metrics.NewCounter("decision_floor_traces_total")
 )
 
 // DeviceConfig registers one legitimate user's device with the RSSI
@@ -55,6 +67,7 @@ func (m *RSSIMethod) Name() string { return "bluetooth-rssi" }
 // (legitimate), or once every device has replied below threshold or
 // the timeout fires (malicious).
 func (m *RSSIMethod) Check(req Request, done func(Result)) {
+	mRSSIQueries.Inc()
 	if len(m.Devices) == 0 {
 		done(Result{
 			Legitimate: false,
@@ -83,11 +96,13 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 				return
 			}
 			decided = true
+			mRoundTrip.Observe(r.At.Sub(req.At))
 			done(r)
 		}
 	)
 
 	timeoutEv := m.Clock.After(timeout, func() {
+		mQueryTimeouts.Inc()
 		finish(Result{
 			Legitimate: false,
 			Reason:     "query timeout with no passing device",
@@ -105,6 +120,7 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 			if d.FloorCeiling != 0 && r.Reading.RSSI > d.FloorCeiling {
 				// The reading exceeds anything measurable off the
 				// speaker's floor: the tracker has drifted; resync.
+				mFloorOverrides.Inc()
 				d.Tracker.SetLevel(d.Tracker.SpeakerFloor)
 			} else {
 				// Paper §V-B2: a command is always blocked while the

@@ -21,7 +21,18 @@ import (
 	"sync"
 	"time"
 
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/pcap"
+)
+
+// Emulator metrics: server-side session volume, heartbeat traffic,
+// completed commands, and TLS-session closes forced by sequence gaps
+// (Fig. 4 case III).
+var (
+	mEmulSessions   = metrics.NewCounter("emul_sessions_total")
+	mEmulHeartbeats = metrics.NewCounter("emul_heartbeats_total")
+	mEmulCommands   = metrics.NewCounter("emul_commands_completed_total")
+	mEmulAborts     = metrics.NewCounter("emul_session_aborts_total")
 )
 
 // Message types carried in record payloads.
@@ -145,6 +156,7 @@ func (s *CloudServer) acceptLoop() {
 // serve runs one session: validate sequence continuity, echo
 // heartbeats, answer completed commands.
 func (s *CloudServer) serve(conn net.Conn) {
+	mEmulSessions.Inc()
 	defer conn.Close()
 	var (
 		expect    uint32
@@ -173,12 +185,14 @@ func (s *CloudServer) serve(conn net.Conn) {
 			s.mu.Lock()
 			s.aborts++
 			s.mu.Unlock()
+			mEmulAborts.Inc()
 			return
 		}
 		expect++
 
 		switch frame.Type {
 		case MsgHeartbeat:
+			mEmulHeartbeats.Inc()
 			if err := s.reply(conn, &serverSeq, MsgAck, nil); err != nil {
 				return
 			}
@@ -186,6 +200,7 @@ func (s *CloudServer) serve(conn net.Conn) {
 			s.mu.Lock()
 			s.commands++
 			s.mu.Unlock()
+			mEmulCommands.Inc()
 			if err := s.reply(conn, &serverSeq, MsgResponse, []byte("ok")); err != nil {
 				return
 			}

@@ -11,9 +11,21 @@ import (
 	"time"
 
 	"voiceguard/internal/decision"
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/pcap"
 	"voiceguard/internal/recognize"
 	"voiceguard/internal/simtime"
+)
+
+// Guard-level metrics: spike and command volume, verdict split, and
+// the hold-duration distribution (the paper's Fig. 6/7 scale).
+var (
+	mSpikes      = metrics.NewCounter("guard_spikes_total")
+	mCommands    = metrics.NewCounter("guard_commands_recognized_total")
+	mAllowed     = metrics.NewCounter("guard_verdict_allow_total")
+	mBlocked     = metrics.NewCounter("guard_verdict_block_total")
+	mNonCommands = metrics.NewCounter("guard_noncommand_spikes_total")
+	mHoldSeconds = metrics.NewHistogram("guard_hold_seconds")
 )
 
 // EventKind classifies a completed traffic-handling episode.
@@ -105,6 +117,7 @@ func (g *Guard) Events() []Event {
 func (g *Guard) Feed(p pcap.Packet) {
 	switch g.recognizer.Feed(p) {
 	case recognize.ActionHold:
+		mSpikes.Inc()
 		g.holding = true
 		g.spikeStart = p.Time
 		g.heldPackets = 1
@@ -115,7 +128,9 @@ func (g *Guard) Feed(p pcap.Packet) {
 			g.armIdleTimer(p.Time)
 		}
 	case recognize.ActionCommand:
+		mCommands.Inc()
 		if !g.holding {
+			mSpikes.Inc()
 			// GHM-style immediate recognition: the spike starts and
 			// is recognized on the same packet.
 			g.holding = true
@@ -198,6 +213,17 @@ func (g *Guard) finishNonCommand() {
 }
 
 func (g *Guard) record(ev Event) {
+	switch ev.Kind {
+	case EventCommand:
+		if ev.Released {
+			mAllowed.Inc()
+		} else {
+			mBlocked.Inc()
+		}
+		mHoldSeconds.Observe(ev.HoldDuration())
+	case EventNonCommand:
+		mNonCommands.Inc()
+	}
 	g.events = append(g.events, ev)
 	if g.onEvent != nil {
 		g.onEvent(ev)

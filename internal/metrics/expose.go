@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteText writes the snapshot in a Prometheus-style text format:
+// one `name value` line per counter and gauge, and cumulative
+// `name_bucket{le="..."}` lines plus `_sum`/`_count` per histogram.
+func WriteText(w io.Writer, s Snapshot) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	bounds := BucketBounds()
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, c := range h.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = formatSeconds(bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.Name, h.SumSeconds, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON. Histogram bucket
+// bounds are included once under "bucket_bounds_seconds".
+func WriteJSON(w io.Writer, s Snapshot) error {
+	bounds := make([]float64, 0, len(bucketBounds))
+	for _, b := range bucketBounds {
+		// Round to the label precision so JSON shows 1.6384, not the
+		// raw float64 1.6383999999999999.
+		v, _ := strconv.ParseFloat(formatSeconds(b), 64)
+		bounds = append(bounds, v)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		BucketBoundsSeconds []float64 `json:"bucket_bounds_seconds"`
+		Snapshot
+	}{bounds, s})
+}
+
+// WriteTable writes a compact human-readable table of the non-zero
+// metrics: counters and gauges as `name value`, histograms with
+// count, mean, and estimated p50/p95/p99. Binaries print this at
+// exit so every run doubles as regression evidence.
+func WriteTable(w io.Writer, s Snapshot) error {
+	wrote := false
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-44s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	for _, g := range s.Gauges {
+		if g.Value == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-44s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	for _, h := range s.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		mean := h.SumSeconds / float64(h.Count)
+		if _, err := fmt.Fprintf(w, "%-44s count=%d mean=%.3fs p50≤%s p95≤%s p99≤%s\n",
+			h.Name, h.Count, mean,
+			formatSeconds(h.Quantile(0.50)),
+			formatSeconds(h.Quantile(0.95)),
+			formatSeconds(h.Quantile(0.99))); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if !wrote {
+		_, err := fmt.Fprintln(w, "(no metrics recorded)")
+		return err
+	}
+	return nil
+}
+
+// formatSeconds renders a duration as a compact seconds value for
+// bucket labels ("0.0001", "1.6384", "30"). Six significant digits
+// cover every generated bound exactly without float artifacts.
+func formatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.6g", d.Seconds())
+}
+
+// Handler serves the registry snapshot over HTTP: the text format by
+// default, JSON when the request asks for it with ?format=json or an
+// application/json Accept header.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, s)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteText(w, s)
+	})
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets span the paper's hold-time scale: power-of-two
+// upper bounds doubling from 100µs up to ~26s, a final 30s bound
+// (Fig. 6's worst observed verification time stays under it), and an
+// implicit overflow bucket for anything longer.
+const (
+	minBucketBound = 100 * time.Microsecond
+	maxBucketBound = 30 * time.Second
+)
+
+// bucketBounds are the finite bucket upper bounds, inclusive.
+var bucketBounds = makeBucketBounds()
+
+func makeBucketBounds() []time.Duration {
+	var b []time.Duration
+	for d := minBucketBound; d < maxBucketBound; d *= 2 {
+		b = append(b, d)
+	}
+	return append(b, maxBucketBound)
+}
+
+// numBuckets is the finite buckets plus the overflow bucket.
+var numBuckets = len(bucketBounds) + 1
+
+func init() {
+	// The bucket array is sized statically so Histogram needs no
+	// constructor; keep it in sync with the generated bounds.
+	if numBuckets != len((&Histogram{}).buckets) {
+		panic("metrics: bucket array size out of sync with bounds")
+	}
+}
+
+// BucketBounds returns the finite bucket upper bounds. Observations
+// above the last bound land in the overflow bucket, so a snapshot's
+// Buckets slice has len(BucketBounds())+1 entries.
+func BucketBounds() []time.Duration {
+	return append([]time.Duration(nil), bucketBounds...)
+}
+
+// bucketIndex returns the index of the smallest bound >= d, or
+// len(bucketBounds) for the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	lo, hi := 0, len(bucketBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= bucketBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free:
+// one atomic add into the bucket, one into the running sum.
+type Histogram struct {
+	name    string
+	sum     atomic.Int64 // total observed nanoseconds
+	buckets [20 + 1]atomic.Uint64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations (the sum of all buckets).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+// Buckets[i] counts observations in (bounds[i-1], bounds[i]]; the
+// final entry is the overflow bucket.
+type HistogramSnapshot struct {
+	Name       string   `json:"name"`
+	Count      uint64   `json:"count"`
+	SumSeconds float64  `json:"sum_seconds"`
+	Buckets    []uint64 `json:"buckets"`
+}
+
+// snapshot reads the histogram's state. Count is computed from the
+// bucket loads, so Count == ΣBuckets always holds within a snapshot.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:       h.name,
+		SumSeconds: float64(h.sum.Load()) / float64(time.Second),
+		Buckets:    make([]uint64, numBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts, attributing each bucket's mass to its upper bound. Overflow
+// observations report the overflow marker (2× the last finite bound).
+// Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			if i < len(bucketBounds) {
+				return bucketBounds[i]
+			}
+			return 2 * bucketBounds[len(bucketBounds)-1]
+		}
+	}
+	return 2 * bucketBounds[len(bucketBounds)-1]
+}

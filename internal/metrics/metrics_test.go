@@ -1,0 +1,318 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentIncrementsSumExactly(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total")
+	const workers = 16
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), int64(workers*perWorker); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestCounterIgnoresNegativeAdd(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(3)
+				g.Add(-3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+func TestBucketBoundariesStable(t *testing.T) {
+	bounds := BucketBounds()
+	if bounds[0] != 100*time.Microsecond {
+		t.Fatalf("first bound = %v, want 100µs", bounds[0])
+	}
+	if last := bounds[len(bounds)-1]; last != 30*time.Second {
+		t.Fatalf("last bound = %v, want 30s", last)
+	}
+	for i := 1; i < len(bounds)-1; i++ {
+		if bounds[i] != 2*bounds[i-1] {
+			t.Fatalf("bound[%d] = %v, want 2×%v", i, bounds[i], bounds[i-1])
+		}
+	}
+
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0}, // clamped to zero
+		{0, 0},
+		{100 * time.Microsecond, 0}, // inclusive upper bound
+		{101 * time.Microsecond, 1}, // just above the first bound
+		{200 * time.Microsecond, 1},
+		{time.Second, bucketIndex(time.Second)},
+		{30 * time.Second, len(bounds) - 1}, // last finite bucket
+		{31 * time.Second, len(bounds)},     // overflow
+		{5 * time.Minute, len(bounds)},      // deep overflow
+	}
+	for _, c := range cases {
+		h := &Histogram{name: "h"}
+		h.Observe(c.d)
+		s := h.snapshot()
+		if s.Count != 1 {
+			t.Fatalf("Observe(%v): count = %d, want 1", c.d, s.Count)
+		}
+		if s.Buckets[c.want] != 1 {
+			t.Fatalf("Observe(%v): bucket %d empty (buckets %v)", c.d, c.want, s.Buckets)
+		}
+	}
+	// 1s must land in a bucket whose bound is >= 1s and whose
+	// predecessor is < 1s.
+	idx := bucketIndex(time.Second)
+	if bounds[idx] < time.Second || bounds[idx-1] >= time.Second {
+		t.Fatalf("bucketIndex(1s) = %d (bound %v)", idx, bounds[idx])
+	}
+}
+
+func TestHistogramSumAndCount(t *testing.T) {
+	h := &Histogram{name: "h"}
+	h.Observe(time.Second)
+	h.Observe(3 * time.Second)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if got := h.Sum(); got != 4*time.Second {
+		t.Fatalf("sum = %v, want 4s", got)
+	}
+}
+
+func TestSnapshotConsistentUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency")
+	c := r.Counter("ops")
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := time.Duration(i+1) * 700 * time.Microsecond
+			for j := 0; j < perWorker; j++ {
+				h.Observe(d)
+				c.Inc()
+			}
+		}(i)
+	}
+
+	// Reader: every snapshot must be internally consistent
+	// (Count == ΣBuckets) and monotone across snapshots.
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var lastCount uint64
+		for {
+			s := r.Snapshot()
+			hs := s.Histograms[0]
+			var sum uint64
+			for _, b := range hs.Buckets {
+				sum += b
+			}
+			if sum != hs.Count {
+				t.Errorf("snapshot count %d != bucket sum %d", hs.Count, sum)
+				return
+			}
+			if hs.Count < lastCount {
+				t.Errorf("snapshot count went backwards: %d -> %d", lastCount, hs.Count)
+				return
+			}
+			lastCount = hs.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	s := r.Snapshot()
+	if got, want := s.Histograms[0].Count, uint64(workers*perWorker); got != want {
+		t.Fatalf("final histogram count = %d, want %d", got, want)
+	}
+	if got, want := s.Counters[0].Value, int64(workers*perWorker); got != want {
+		t.Fatalf("final counter = %d, want %d", got, want)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same counter name returned different handles")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same histogram name returned different handles")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reusing a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestQuantile(t *testing.T) {
+	h := &Histogram{name: "h"}
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond) // bucket bound 1.6384ms? -> smallest bound >= 1ms
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	s := h.snapshot()
+	p50 := s.Quantile(0.50)
+	if p50 < time.Millisecond || p50 >= 10*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms bucket bound", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < time.Second || p99 > 2*time.Second {
+		t.Fatalf("p99 = %v, want ~1s bucket bound", p99)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestExpositionFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total").Add(7)
+	r.Gauge("queue_depth").Set(3)
+	r.Histogram("hold_seconds").Observe(2 * time.Second)
+	s := r.Snapshot()
+
+	var text bytes.Buffer
+	if err := WriteText(&text, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"events_total 7",
+		"queue_depth 3",
+		`hold_seconds_bucket{le="+Inf"} 1`,
+		"hold_seconds_count 1",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := WriteJSON(&js, s); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		BucketBoundsSeconds []float64 `json:"bucket_bounds_seconds"`
+		Counters            []CounterSnapshot
+		Histograms          []HistogramSnapshot
+	}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.BucketBoundsSeconds) != len(BucketBounds()) {
+		t.Fatalf("JSON bounds = %d entries, want %d", len(decoded.BucketBoundsSeconds), len(BucketBounds()))
+	}
+	if decoded.Counters[0].Value != 7 {
+		t.Fatalf("JSON counter = %d, want 7", decoded.Counters[0].Value)
+	}
+
+	var table bytes.Buffer
+	if err := WriteTable(&table, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "count=1") {
+		t.Errorf("table output missing histogram line:\n%s", table.String())
+	}
+
+	var emptyTable bytes.Buffer
+	if err := WriteTable(&emptyTable, NewRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(emptyTable.String(), "no metrics recorded") {
+		t.Errorf("empty table output = %q", emptyTable.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	_, _ = body.ReadFrom(resp.Body)
+	_ = resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain", ct)
+	}
+	if !strings.Contains(body.String(), "hits_total 1") {
+		t.Fatalf("text body = %q", body.String())
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body.Reset()
+	_, _ = body.ReadFrom(resp.Body)
+	_ = resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q, want application/json", ct)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(body.Bytes(), &decoded); err != nil {
+		t.Fatalf("handler JSON invalid: %v", err)
+	}
+}

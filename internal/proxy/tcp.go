@@ -20,6 +20,25 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"voiceguard/internal/metrics"
+)
+
+// Transport metrics: session lifecycle, hold outcomes, byte volume in
+// both directions, and the live depth of the hold queues. The queue
+// gauge aggregates across sessions, so a long-lived deployment can
+// watch held bytes drain as verdicts arrive.
+var (
+	mTCPSessions     = metrics.NewCounter("proxy_tcp_sessions_total")
+	mTCPActive       = metrics.NewGauge("proxy_tcp_sessions_active")
+	mHolds           = metrics.NewCounter("proxy_holds_total")
+	mReleases        = metrics.NewCounter("proxy_releases_total")
+	mDrops           = metrics.NewCounter("proxy_drops_total")
+	mBytesIn         = metrics.NewCounter("proxy_bytes_in_total")
+	mBytesOut        = metrics.NewCounter("proxy_bytes_out_total")
+	mHoldQueueBytes  = metrics.NewGauge("proxy_hold_queue_bytes")
+	mQueueOverflows  = metrics.NewCounter("proxy_hold_queue_overflows_total")
+	mUpstreamDialErr = metrics.NewCounter("proxy_upstream_dial_errors_total")
 )
 
 // ErrQueueOverflow is returned when a hold accumulates more bytes
@@ -142,6 +161,7 @@ func (p *TCP) acceptLoop(maxHoldBytes int) {
 		}
 		server, err := p.dial(context.Background())
 		if err != nil {
+			mUpstreamDialErr.Inc()
 			_ = client.Close()
 			continue
 		}
@@ -159,6 +179,8 @@ func (p *TCP) acceptLoop(maxHoldBytes int) {
 		}
 		p.sessions[s] = struct{}{}
 		p.mu.Unlock()
+		mTCPSessions.Inc()
+		mTCPActive.Add(1)
 
 		p.wg.Add(2)
 		go func() {
@@ -177,6 +199,7 @@ func (p *TCP) remove(s *Session) {
 	p.mu.Lock()
 	delete(p.sessions, s)
 	p.mu.Unlock()
+	mTCPActive.Add(-1)
 }
 
 // Session is one proxied client connection and its upstream pair.
@@ -209,6 +232,9 @@ func (s *Session) Done() <-chan struct{} { return s.done }
 func (s *Session) Hold() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.holding {
+		mHolds.Inc()
+	}
 	s.holding = true
 }
 
@@ -248,6 +274,8 @@ func (s *Session) DroppedTotal() int {
 func (s *Session) Release() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	mReleases.Inc()
+	mHoldQueueBytes.Add(-int64(s.queued))
 	for _, chunk := range s.queue {
 		if _, err := s.server.Write(chunk); err != nil {
 			s.queue = nil
@@ -269,6 +297,8 @@ func (s *Session) Release() error {
 func (s *Session) Drop() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	mDrops.Inc()
+	mHoldQueueBytes.Add(-int64(s.queued))
 	n := s.queued
 	s.dropped += n
 	s.queue = nil
@@ -285,6 +315,7 @@ func (s *Session) clientToServer(tap Tap) {
 	for {
 		n, err := s.client.Read(buf)
 		if n > 0 {
+			mBytesIn.Add(int64(n))
 			chunk := append([]byte(nil), buf[:n]...)
 			if tap != nil {
 				tap(s, chunk)
@@ -305,11 +336,13 @@ func (s *Session) forward(chunk []byte) error {
 	defer s.mu.Unlock()
 	if s.holding {
 		if s.queued+len(chunk) > s.maxHoldBytes {
+			mQueueOverflows.Inc()
 			return ErrQueueOverflow
 		}
 		s.queue = append(s.queue, chunk)
 		s.queued += len(chunk)
 		s.heldTotal += len(chunk)
+		mHoldQueueBytes.Add(int64(len(chunk)))
 		return nil
 	}
 	_, err := s.server.Write(chunk)
@@ -323,6 +356,7 @@ func (s *Session) serverToClient() {
 	for {
 		n, err := s.server.Read(buf)
 		if n > 0 {
+			mBytesOut.Add(int64(n))
 			if _, werr := s.client.Write(buf[:n]); werr != nil {
 				return
 			}
@@ -338,6 +372,14 @@ func (s *Session) closeConns() {
 	s.closeOnce.Do(func() {
 		_ = s.client.Close()
 		_ = s.server.Close()
+		// A session that dies mid-hold never releases or drops its
+		// queue; take those bytes back out of the depth gauge.
+		s.mu.Lock()
+		mHoldQueueBytes.Add(-int64(s.queued))
+		s.queue = nil
+		s.queued = 0
+		s.holding = false
+		s.mu.Unlock()
 		close(s.done)
 	})
 }

@@ -5,6 +5,16 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"voiceguard/internal/metrics"
+)
+
+// UDP-path metrics (the Google Home Mini's QUIC flow).
+var (
+	mUDPForwarded  = metrics.NewCounter("proxy_udp_datagrams_forwarded_total")
+	mUDPHeld       = metrics.NewCounter("proxy_udp_datagrams_held_total")
+	mUDPDropped    = metrics.NewCounter("proxy_udp_datagrams_dropped_total")
+	mUDPQueueDepth = metrics.NewGauge("proxy_udp_hold_queue_datagrams")
 )
 
 // UDPTap observes each client-to-upstream datagram before forwarding.
@@ -79,6 +89,10 @@ func (f *UDPForwarder) Close() error {
 		return nil
 	}
 	f.closed = true
+	// Datagrams still held at shutdown never release or drop; take
+	// them back out of the depth gauge.
+	mUDPQueueDepth.Add(-int64(len(f.queue)))
+	f.queue = nil
 	err := f.conn.Close()
 	for _, p := range f.peers {
 		_ = p.conn.Close()
@@ -122,6 +136,7 @@ func (f *UDPForwarder) DroppedTotal() int {
 func (f *UDPForwarder) Release() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	mUDPQueueDepth.Add(-int64(len(f.queue)))
 	for _, d := range f.queue {
 		if err := f.forwardLocked(d.clientAddr, d.data); err != nil {
 			f.queue = nil
@@ -140,6 +155,8 @@ func (f *UDPForwarder) Drop() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n := len(f.queue)
+	mUDPDropped.Add(int64(n))
+	mUDPQueueDepth.Add(-int64(n))
 	f.dropped += n
 	f.queue = nil
 	f.holding = false
@@ -166,6 +183,8 @@ func (f *UDPForwarder) readLoop() {
 		}
 		if f.holding {
 			f.queue = append(f.queue, queuedDatagram{clientAddr: addr.String(), data: data})
+			mUDPHeld.Inc()
+			mUDPQueueDepth.Add(1)
 			f.mu.Unlock()
 			continue
 		}
@@ -204,6 +223,7 @@ func (f *UDPForwarder) forwardLockedAddr(clientAddr *net.UDPAddr, data []byte) e
 	if _, err := peer.conn.Write(data); err != nil {
 		return fmt.Errorf("proxy: forward: %w", err)
 	}
+	mUDPForwarded.Inc()
 	return nil
 }
 

@@ -12,8 +12,18 @@ import (
 
 	"voiceguard/internal/ble"
 	"voiceguard/internal/floorplan"
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/rng"
 	"voiceguard/internal/simtime"
+)
+
+// Push-channel metrics: per-device push volume and the full
+// push→scan→reply round trip on the simulated clock (Fig. 7's
+// delay-decomposition scale).
+var (
+	mPushes        = metrics.NewCounter("push_requests_total")
+	mPushOffline   = metrics.NewCounter("push_offline_devices_total")
+	mPushRoundTrip = metrics.NewHistogram("push_roundtrip_seconds")
 )
 
 // Latency model parameters (seconds). Push delivery is log-normal
@@ -111,7 +121,9 @@ func (b *Broker) RequestRSSI(ids []string, adv ble.Advertiser, deliver func(Repl
 	now := b.clock.Now()
 	for _, d := range targets {
 		d := d
+		mPushes.Inc()
 		if d.Offline {
+			mPushOffline.Inc()
 			continue // accepted by the push service, never delivered
 		}
 		wakeAt := now.Add(b.pushLatency()).Add(b.uniform(wakeMinSec, wakeMaxSec))
@@ -119,6 +131,7 @@ func (b *Broker) RequestRSSI(ids []string, adv ble.Advertiser, deliver func(Repl
 			reading := d.Scanner.Measure(adv, d.Position())
 			arriveAt := b.clock.Now().Add(reading.Duration).Add(b.uniform(replyMinSec, replyMaxSec))
 			b.clock.Schedule(arriveAt, func() {
+				mPushRoundTrip.Observe(arriveAt.Sub(now))
 				deliver(Reply{DeviceID: d.ID, Reading: reading, At: arriveAt})
 			})
 		})

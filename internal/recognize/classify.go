@@ -52,12 +52,15 @@ const (
 //   - anything else is unknown (treated as not a command).
 func ClassifyEchoSpike(lengths []int) SpikeClass {
 	if hasAdjacent(lengths, trafficgen.P77, trafficgen.P33, responseWindow) {
+		mPhase2Markers.Inc()
 		return ClassResponse
 	}
 	if hasWithin(lengths, trafficgen.P138, commandWindow) || hasWithin(lengths, trafficgen.P75, commandWindow) {
+		mPhase1Markers.Inc()
 		return ClassCommand
 	}
 	if matchesCommandFallback(lengths) {
+		mFallbackMatches.Inc()
 		return ClassCommand
 	}
 	return ClassUnknown

@@ -3,8 +3,19 @@ package recognize
 import (
 	"time"
 
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/pcap"
 	"voiceguard/internal/trafficgen"
+)
+
+// Recognition metrics: how each spike classification was reached.
+// Phase-1 markers identify command spikes, phase-2 markers response
+// spikes (§IV-B1); the fallback counter tracks command spikes caught
+// only by the fixed packet-length patterns.
+var (
+	mPhase1Markers   = metrics.NewCounter("recognize_phase1_marker_total")
+	mPhase2Markers   = metrics.NewCounter("recognize_phase2_marker_total")
+	mFallbackMatches = metrics.NewCounter("recognize_fallback_match_total")
 )
 
 // Kind selects the per-speaker recognition procedure.
@@ -134,10 +145,12 @@ func (r *Recognizer) tryDecide() Action {
 	lengths := pcap.Lengths(r.buf)
 	// Response markers can be spotted as soon as they appear.
 	if hasAdjacent(lengths, trafficgen.P77, trafficgen.P33, responseWindow) {
+		mPhase2Markers.Inc()
 		r.decided = true
 		return ActionRelease
 	}
 	if hasWithin(lengths, trafficgen.P138, commandWindow) || hasWithin(lengths, trafficgen.P75, commandWindow) {
+		mPhase1Markers.Inc()
 		r.decided = true
 		return ActionCommand
 	}
@@ -145,6 +158,7 @@ func (r *Recognizer) tryDecide() Action {
 		return ActionNone // not enough evidence yet
 	}
 	if matchesCommandFallback(lengths) {
+		mFallbackMatches.Inc()
 		r.decided = true
 		return ActionCommand
 	}

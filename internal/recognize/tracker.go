@@ -3,7 +3,14 @@ package recognize
 import (
 	"net/netip"
 
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/pcap"
+)
+
+// Tracker metrics: how the cloud server's address was (re)learned.
+var (
+	mTrackerDNSUpdates = metrics.NewCounter("recognize_tracker_dns_updates_total")
+	mTrackerSigMatches = metrics.NewCounter("recognize_tracker_signature_matches_total")
 )
 
 // AVSTracker maintains the current IP address of the speaker's cloud
@@ -65,7 +72,11 @@ func (t *AVSTracker) ForceAddress(addr netip.Addr) { t.set(addr) }
 func (t *AVSTracker) Observe(p pcap.Packet) bool {
 	if t.UseDNS {
 		if msg, ok := pcap.IsDNSResponse(p); ok && msg.Response && msg.Name == t.Domain && p.DstIP == t.SpeakerIP {
-			return t.set(msg.Addr)
+			if t.set(msg.Addr) {
+				mTrackerDNSUpdates.Inc()
+				return true
+			}
+			return false
 		}
 	}
 	if t.UseSignature && len(t.Signature) > 0 {
@@ -97,6 +108,7 @@ func (t *AVSTracker) observeSignature(p pcap.Packet) bool {
 	}
 	// Full signature observed: this flow talks to the cloud server.
 	f.dead = true // stop matching further traffic on this flow
+	mTrackerSigMatches.Inc()
 	addr, err := netip.ParseAddr(f.dst)
 	if err != nil {
 		return false

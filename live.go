@@ -7,7 +7,19 @@ import (
 	"sync"
 	"time"
 
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/proxy"
+)
+
+// Wire-plane metrics shared by LiveProxy and LiveGuard: burst/command
+// outcomes and the wall-clock hold duration (hold started → verdict
+// applied). These are what `vgproxy -metrics-addr` serves.
+var (
+	mLiveHeld        = metrics.NewCounter("live_bursts_held_total")
+	mLiveReleased    = metrics.NewCounter("live_bursts_released_total")
+	mLiveDropped     = metrics.NewCounter("live_bursts_dropped_total")
+	mLiveNonCommands = metrics.NewCounter("live_noncommand_spikes_total")
+	mLiveHoldSeconds = metrics.NewHistogram("live_hold_seconds")
 )
 
 // DecisionFunc decides whether the voice command currently held by
@@ -76,6 +88,7 @@ func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 			lp.mu.Lock()
 			lp.held++
 			lp.mu.Unlock()
+			mLiveHeld.Inc()
 			lp.wg.Add(1)
 			go lp.adjudicate(s)
 		}))
@@ -90,17 +103,22 @@ func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 // adjudicate runs the decision for one held burst.
 func (lp *LiveProxy) adjudicate(s *proxy.Session) {
 	defer lp.wg.Done()
-	if lp.decide(lp.ctx) {
+	start := time.Now()
+	legit := lp.decide(lp.ctx)
+	mLiveHoldSeconds.Observe(time.Since(start))
+	if legit {
 		_ = s.Release()
 		lp.mu.Lock()
 		lp.released++
 		lp.mu.Unlock()
+		mLiveReleased.Inc()
 		return
 	}
 	s.Drop()
 	lp.mu.Lock()
 	lp.dropped++
 	lp.mu.Unlock()
+	mLiveDropped.Inc()
 }
 
 // Addr returns the proxy's listen address.

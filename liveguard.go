@@ -157,11 +157,13 @@ func (g *LiveGuard) handleAction(s *proxy.Session, ls *liveSession, action recog
 		}
 		ls.deciding = true
 		g.stats.CommandsHeld++
+		mLiveHeld.Inc()
 		g.wg.Add(1)
 		go g.adjudicate(s, ls)
 	case recognize.ActionRelease:
 		g.disarmIdleTimer(ls)
 		g.stats.NonCommands++
+		mLiveNonCommands.Inc()
 		_ = s.Release()
 	}
 }
@@ -175,6 +177,7 @@ func (g *LiveGuard) armIdleTimer(s *proxy.Session, ls *liveSession) {
 		defer g.mu.Unlock()
 		if ls.rec.EndSpike() == recognize.ActionRelease {
 			g.stats.NonCommands++
+			mLiveNonCommands.Inc()
 			_ = s.Release()
 		}
 	})
@@ -190,16 +193,20 @@ func (g *LiveGuard) disarmIdleTimer(ls *liveSession) {
 // adjudicate consults the DecisionFunc for one held command.
 func (g *LiveGuard) adjudicate(s *proxy.Session, ls *liveSession) {
 	defer g.wg.Done()
+	start := time.Now()
 	legit := g.decide(g.ctx)
+	mLiveHoldSeconds.Observe(time.Since(start))
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	ls.deciding = false
 	if legit {
 		g.stats.CommandsReleased++
+		mLiveReleased.Inc()
 		_ = s.Release()
 		return
 	}
 	g.stats.CommandsDropped++
+	mLiveDropped.Inc()
 	s.Drop()
 }
 
