@@ -23,6 +23,7 @@ import (
 	"voiceguard/internal/radio"
 	"voiceguard/internal/report"
 	"voiceguard/internal/scenario"
+	"voiceguard/internal/trace"
 )
 
 func main() {
@@ -33,8 +34,18 @@ func main() {
 		invocations = flag.Int("invocations", 134, "invocations for the recognition study")
 		queries     = flag.Int("queries", 100, "invocations per delay study")
 		csvDir      = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		logLevel    = flag.String("log-level", "off", "structured log level: off|debug|info|warn|error")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
+		traceOut    = flag.String("trace-out", "", "write every recorded span to this JSONL file")
 	)
 	flag.Parse()
+
+	closeTrace, err := trace.SetupFromFlags(trace.Default, *logLevel, *logFormat, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vgbench:", err)
+		os.Exit(2)
+	}
+	defer func() { _ = closeTrace() }()
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

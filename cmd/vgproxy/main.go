@@ -7,7 +7,8 @@
 // Usage:
 //
 //	vgproxy -commands 4 -hold 1.5s -verdict alternate
-//	vgproxy -metrics-addr 127.0.0.1:9090   # serve live metrics over HTTP
+//	vgproxy -metrics-addr 127.0.0.1:9090   # metrics + /debug/pprof/ + /debug/trace
+//	vgproxy -trace-out spans.jsonl -log-level debug -log-format json
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync/atomic"
 	"time"
@@ -24,23 +26,37 @@ import (
 	"voiceguard"
 	"voiceguard/internal/emul"
 	"voiceguard/internal/metrics"
+	"voiceguard/internal/trace"
 )
 
+// config carries the parsed command-line flags through run.
+type config struct {
+	commands    int
+	hold        time.Duration
+	verdict     string
+	metricsAddr string
+	logLevel    string
+	logFormat   string
+	traceOut    string
+}
+
 func main() {
-	var (
-		commands    = flag.Int("commands", 4, "voice commands to issue")
-		hold        = flag.Duration("hold", 1500*time.Millisecond, "hold duration while deciding")
-		verdict     = flag.String("verdict", "alternate", "decision policy: allow|block|alternate")
-		metricsAddr = flag.String("metrics-addr", "", "serve the metrics snapshot over HTTP on this address (e.g. 127.0.0.1:9090)")
-	)
+	var cfg config
+	flag.IntVar(&cfg.commands, "commands", 4, "voice commands to issue")
+	flag.DurationVar(&cfg.hold, "hold", 1500*time.Millisecond, "hold duration while deciding")
+	flag.StringVar(&cfg.verdict, "verdict", "alternate", "decision policy: allow|block|alternate")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve metrics, /debug/pprof/, and /debug/trace over HTTP on this address (e.g. 127.0.0.1:9090)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: off|debug|info|warn|error")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "structured log format: text|json")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write every recorded span to this JSONL file")
 	flag.Parse()
 
-	if err := validateVerdict(*verdict); err != nil {
+	if err := validateVerdict(cfg.verdict); err != nil {
 		fmt.Fprintln(os.Stderr, "vgproxy:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*commands, *hold, *verdict, *metricsAddr); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vgproxy:", err)
 		os.Exit(1)
 	}
@@ -57,10 +73,32 @@ func validateVerdict(v string) error {
 	}
 }
 
-func run(commands int, hold time.Duration, verdict, metricsAddr string) error {
-	if err := validateVerdict(verdict); err != nil {
+// newDebugMux assembles the HTTP surface served on -metrics-addr:
+// the metrics snapshot at /, the flight-recorder dump at /debug/trace,
+// and the standard pprof profiles. pprof's handlers only self-register
+// on http.DefaultServeMux, so a private mux wires them explicitly.
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", metrics.Handler(metrics.Default))
+	mux.Handle("/debug/trace", trace.Handler(trace.Default))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(cfg config) error {
+	if err := validateVerdict(cfg.verdict); err != nil {
 		return err
 	}
+	closeTrace, err := trace.SetupFromFlags(trace.Default, cfg.logLevel, cfg.logFormat, cfg.traceOut)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = closeTrace() }()
+
 	cloud, err := emul.NewCloudServer("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -68,25 +106,29 @@ func run(commands int, hold time.Duration, verdict, metricsAddr string) error {
 	defer cloud.Close()
 	fmt.Printf("cloud server   %s\n", cloud.Addr())
 
-	if metricsAddr != "" {
-		lis, err := net.Listen("tcp", metricsAddr)
+	if cfg.metricsAddr != "" {
+		lis, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
+			return fmt.Errorf("cannot bind -metrics-addr %q: %w", cfg.metricsAddr, err)
 		}
-		srv := &http.Server{Handler: metrics.Handler(metrics.Default)}
+		srv := &http.Server{Handler: newDebugMux()}
 		go func() { _ = srv.Serve(lis) }()
 		defer srv.Close()
+		trace.Default.Logger().Info("debug endpoint bound",
+			"addr", lis.Addr().String(),
+			"endpoints", "/ /debug/trace /debug/pprof/")
 		fmt.Printf("metrics        http://%s/ (text; ?format=json for JSON)\n", lis.Addr())
+		fmt.Printf("debug          http://%s/debug/trace and /debug/pprof/\n", lis.Addr())
 	}
 
 	var counter atomic.Int64
 	decide := func(ctx context.Context) bool {
 		select {
-		case <-time.After(hold):
+		case <-time.After(cfg.hold):
 		case <-ctx.Done():
 			return false
 		}
-		switch verdict {
+		switch cfg.verdict {
 		case "allow":
 			return true
 		case "block":
@@ -101,9 +143,9 @@ func run(commands int, hold time.Duration, verdict, metricsAddr string) error {
 		return err
 	}
 	defer proxy.Close()
-	fmt.Printf("guard proxy    %s (hold %v, policy %s)\n\n", proxy.Addr(), hold, verdict)
+	fmt.Printf("guard proxy    %s (hold %v, policy %s)\n\n", proxy.Addr(), cfg.hold, cfg.verdict)
 
-	for i := 1; i <= commands; i++ {
+	for i := 1; i <= cfg.commands; i++ {
 		speaker, err := emul.DialSpeaker(proxy.Addr())
 		if err != nil {
 			return err
@@ -113,7 +155,7 @@ func run(commands int, hold time.Duration, verdict, metricsAddr string) error {
 			_ = speaker.Close()
 			return err
 		}
-		frame, err := speaker.Await(hold + 1500*time.Millisecond)
+		frame, err := speaker.Await(cfg.hold + 1500*time.Millisecond)
 		switch {
 		case err == nil && frame.Type == emul.MsgResponse:
 			fmt.Printf("command %d: RELEASED — cloud responded after %.3fs\n", i, time.Since(start).Seconds())

@@ -1,29 +1,46 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
 
+// cfg builds a run configuration with logging off, as the demo tests
+// only care about traffic outcomes.
+func cfg(commands int, hold time.Duration, verdict, metricsAddr string) config {
+	return config{
+		commands:    commands,
+		hold:        hold,
+		verdict:     verdict,
+		metricsAddr: metricsAddr,
+		logLevel:    "off",
+		logFormat:   "text",
+	}
+}
+
 func TestRunAlternatePolicy(t *testing.T) {
-	if err := run(4, 50*time.Millisecond, "alternate", ""); err != nil {
+	if err := run(cfg(4, 50*time.Millisecond, "alternate", "")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllowPolicy(t *testing.T) {
-	if err := run(2, 30*time.Millisecond, "allow", ""); err != nil {
+	if err := run(cfg(2, 30*time.Millisecond, "allow", "")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBlockPolicy(t *testing.T) {
-	if err := run(2, 30*time.Millisecond, "block", ""); err != nil {
+	if err := run(cfg(2, 30*time.Millisecond, "block", "")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -51,41 +68,77 @@ func TestValidateVerdict(t *testing.T) {
 }
 
 func TestRunRejectsBadVerdict(t *testing.T) {
-	if err := run(1, time.Millisecond, "deny", ""); err == nil {
+	if err := run(cfg(1, time.Millisecond, "deny", "")); err == nil {
 		t.Fatal("run accepted an invalid verdict")
 	}
 }
 
-func TestRunServesMetrics(t *testing.T) {
-	// Hold a port briefly to learn a free address, then hand it to run.
+func TestRunRejectsBadLogLevel(t *testing.T) {
+	c := cfg(1, time.Millisecond, "allow", "")
+	c.logLevel = "loud"
+	if err := run(c); err == nil {
+		t.Fatal("run accepted an invalid log level")
+	}
+}
+
+// TestRunRejectsTakenMetricsAddr asserts the bind failure surfaces as
+// a clear error (main turns it into a non-zero exit).
+func TestRunRejectsTakenMetricsAddr(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	err = run(cfg(1, time.Millisecond, "allow", lis.Addr().String()))
+	if err == nil {
+		t.Fatal("run bound an already-taken -metrics-addr")
+	}
+	if !strings.Contains(err.Error(), "-metrics-addr") {
+		t.Fatalf("bind error does not name the flag: %v", err)
+	}
+}
+
+// freePort grabs and releases an ephemeral port so run can bind it.
+func freePort(t *testing.T) string {
+	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := lis.Addr().String()
 	_ = lis.Close()
+	return addr
+}
 
-	done := make(chan error, 1)
-	go func() { done <- run(1, 2*time.Second, "allow", addr) }()
-
-	// While the command's hold is pending, the metrics endpoint must
-	// answer in both formats.
-	var body []byte
+// get polls the URL until the server answers or the deadline passes.
+func get(t *testing.T, url string) []byte {
+	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		resp, err := http.Get(fmt.Sprintf("http://%s/?format=json", addr))
+		resp, err := http.Get(url)
 		if err == nil {
-			body, err = io.ReadAll(resp.Body)
+			body, rerr := io.ReadAll(resp.Body)
 			_ = resp.Body.Close()
-			if err == nil {
-				break
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return body
 			}
+			err = fmt.Errorf("status %d: %v", resp.StatusCode, rerr)
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("metrics endpoint never came up: %v", err)
+			t.Fatalf("%s never came up: %v", url, err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+func TestRunServesMetrics(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() { done <- run(cfg(1, 2*time.Second, "allow", addr)) }()
+
+	// While the command's hold is pending, the metrics endpoint must
+	// answer in both formats.
+	body := get(t, fmt.Sprintf("http://%s/?format=json", addr))
 	var decoded map[string]any
 	if err := json.Unmarshal(body, &decoded); err != nil {
 		t.Fatalf("metrics endpoint returned invalid JSON: %v\n%s", err, body)
@@ -96,5 +149,71 @@ func TestRunServesMetrics(t *testing.T) {
 
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunServesDebugEndpoints asserts the -metrics-addr mux also
+// exposes the pprof index and the flight-recorder trace dump.
+func TestRunServesDebugEndpoints(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() { done <- run(cfg(1, 2*time.Second, "allow", addr)) }()
+
+	if body := get(t, fmt.Sprintf("http://%s/debug/pprof/", addr)); !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not list profiles:\n%.200s", body)
+	}
+	body := get(t, fmt.Sprintf("http://%s/debug/trace", addr))
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if line == "" {
+			continue
+		}
+		var span map[string]any
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("/debug/trace line is not JSON: %v\n%s", err, line)
+		}
+	}
+	if body := get(t, fmt.Sprintf("http://%s/debug/trace?format=chrome", addr)); !strings.Contains(string(body), "traceEvents") {
+		t.Fatalf("/debug/trace?format=chrome missing traceEvents:\n%.200s", body)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunWritesTraceOut asserts -trace-out captures the demo's spans
+// as parseable JSONL with command IDs.
+func TestRunWritesTraceOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "spans.jsonl")
+	c := cfg(1, 30*time.Millisecond, "allow", "")
+	c.traceOut = out
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines, withID := 0, 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var span struct {
+			CommandID uint64 `json:"command_id"`
+			Stage     string `json:"stage"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			t.Fatalf("bad JSONL line: %v\n%s", err, sc.Text())
+		}
+		lines++
+		if span.CommandID != 0 {
+			withID++
+		}
+	}
+	if lines == 0 {
+		t.Fatal("-trace-out produced no spans")
+	}
+	if withID == 0 {
+		t.Fatal("no span carries a command ID")
 	}
 }

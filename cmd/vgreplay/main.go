@@ -19,21 +19,32 @@ import (
 
 	"voiceguard/internal/pcap"
 	"voiceguard/internal/recognize"
+	"voiceguard/internal/trace"
 	"voiceguard/internal/trafficgen"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "capture file to replay (required)")
-		speaker = flag.String("speaker", "echo", "recognition procedure: echo|ghm")
-		ip      = flag.String("ip", trafficgen.EchoIP, "the speaker's IP address in the capture")
+		in        = flag.String("in", "", "capture file to replay (required)")
+		speaker   = flag.String("speaker", "echo", "recognition procedure: echo|ghm")
+		ip        = flag.String("ip", trafficgen.EchoIP, "the speaker's IP address in the capture")
+		logLevel  = flag.String("log-level", "off", "structured log level: off|debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "structured log format: text|json")
+		traceOut  = flag.String("trace-out", "", "write every recorded span to this JSONL file (one classify span per spike)")
 	)
 	flag.Parse()
 
+	closeTrace, err := trace.SetupFromFlags(trace.Default, *logLevel, *logFormat, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vgreplay:", err)
+		os.Exit(2)
+	}
 	if err := run(*in, *speaker, *ip); err != nil {
+		_ = closeTrace()
 		fmt.Fprintln(os.Stderr, "vgreplay:", err)
 		os.Exit(1)
 	}
+	_ = closeTrace()
 }
 
 func run(in, speaker, ip string) error {

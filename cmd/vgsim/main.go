@@ -20,6 +20,7 @@ import (
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/scenario"
+	"voiceguard/internal/trace"
 )
 
 func main() {
@@ -35,8 +36,18 @@ func main() {
 		dump      = flag.String("dump", "", "write the guard's packet capture to this file")
 		planFile  = flag.String("plan", "", "run on a custom floor plan (JSON, see -export-plan)")
 		exportTo  = flag.String("export-plan", "", "write the selected testbed's floor plan as JSON and exit")
+		logLevel  = flag.String("log-level", "off", "structured log level: off|debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "structured log format: text|json")
+		traceOut  = flag.String("trace-out", "", "write every recorded span to this JSONL file")
 	)
 	flag.Parse()
+
+	closeTrace, err := trace.SetupFromFlags(trace.Default, *logLevel, *logFormat, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vgsim:", err)
+		os.Exit(2)
+	}
+	defer func() { _ = closeTrace() }()
 
 	if *exportTo != "" {
 		if err := exportPlan(*testbed, *exportTo); err != nil {

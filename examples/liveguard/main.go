@@ -9,6 +9,7 @@ package main
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -16,9 +17,20 @@ import (
 
 	"voiceguard"
 	"voiceguard/internal/emul"
+	"voiceguard/internal/trace"
 )
 
 func main() {
+	traceOut := flag.String("trace-out", "liveguard-trace.jsonl", "write every span to this JSONL file (empty disables)")
+	logLevel := flag.String("log-level", "off", "structured log level: off|debug|info|warn|error")
+	flag.Parse()
+
+	closeTrace, err := trace.SetupFromFlags(trace.Default, *logLevel, "text", *traceOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = closeTrace() }()
+
 	cloud, err := emul.NewCloudServer("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -84,4 +96,22 @@ func main() {
 	fmt.Printf("\ncommands held %d: released %d, dropped %d; non-command spikes %d\n",
 		s.CommandsHeld, s.CommandsReleased, s.CommandsDropped, s.NonCommands)
 	fmt.Printf("cloud executed %d command(s)\n", cloud.CompletedCommands())
+
+	// The flight recorder has every stage's spans, linked per command:
+	// the same lifecycle the JSONL export (-trace-out) captures.
+	perCommand := map[trace.CommandID][]trace.Span{}
+	for _, span := range trace.Default.Snapshot() {
+		perCommand[span.Command] = append(perCommand[span.Command], span)
+	}
+	fmt.Println("\nper-command lifecycle spans:")
+	for id := trace.CommandID(1); int(id) <= len(perCommand); id++ {
+		fmt.Printf("  command %d:", id)
+		for _, span := range perCommand[id] {
+			fmt.Printf(" %s/%s", span.Stage, span.Name)
+		}
+		fmt.Println()
+	}
+	if *traceOut != "" {
+		fmt.Printf("\nspan export written to %s (load with scripts or Perfetto via /debug/trace?format=chrome)\n", *traceOut)
+	}
 }

@@ -6,13 +6,18 @@
 // slope and y-intercept of their linear fit (Fig. 10).
 package decision
 
-import "time"
+import (
+	"time"
+
+	"voiceguard/internal/trace"
+)
 
 // Request asks the Decision Module whether the voice command arriving
 // now is legitimate.
 type Request struct {
 	At      time.Time
-	Speaker string // speaker identifier (multi-speaker deployments)
+	Speaker string          // speaker identifier (multi-speaker deployments)
+	Command trace.CommandID // lifecycle trace ID of the held command
 }
 
 // Result is the module's verdict.

@@ -10,6 +10,7 @@ import (
 	"voiceguard/internal/push"
 	"voiceguard/internal/simtime"
 	"voiceguard/internal/stats"
+	"voiceguard/internal/trace"
 )
 
 // Decision Module metrics: query volume, outcome split, timeout rate,
@@ -52,6 +53,10 @@ type RSSIMethod struct {
 	// Timeout bounds how long the method waits for device replies; a
 	// device that does not answer in time counts as "not nearby".
 	Timeout time.Duration
+
+	// Tracer receives per-reply and timeout events for each query
+	// (nil uses trace.Default).
+	Tracer *trace.Tracer
 }
 
 var _ Method = (*RSSIMethod)(nil)
@@ -101,8 +106,11 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 		}
 	)
 
+	tr := trace.Or(m.Tracer)
 	timeoutEv := m.Clock.After(timeout, func() {
 		mQueryTimeouts.Inc()
+		tr.Record(trace.Event(req.Command, trace.StageDecision, "query_timeout", m.Clock.Now(),
+			trace.Duration("timeout", timeout)))
 		finish(Result{
 			Legitimate: false,
 			Reason:     "query timeout with no passing device",
@@ -121,13 +129,27 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 				// The reading exceeds anything measurable off the
 				// speaker's floor: the tracker has drifted; resync.
 				mFloorOverrides.Inc()
+				tr.Record(trace.Event(req.Command, trace.StageDecision, "floor_override", r.At,
+					trace.String("device", r.DeviceID),
+					trace.Float("rssi", r.Reading.RSSI),
+					trace.Float("floor_ceiling", d.FloorCeiling),
+					trace.Int("resync_level", d.Tracker.SpeakerFloor)))
 				d.Tracker.SetLevel(d.Tracker.SpeakerFloor)
 			} else {
 				// Paper §V-B2: a command is always blocked while the
 				// owner is believed to be on another floor.
+				tr.Record(trace.Event(req.Command, trace.StageDecision, "floor_veto", r.At,
+					trace.String("device", r.DeviceID),
+					trace.Int("believed_level", d.Tracker.Level()),
+					trace.Int("speaker_level", d.Tracker.SpeakerFloor)))
 				pass = false
 			}
 		}
+		tr.Record(trace.Event(req.Command, trace.StageDecision, "rssi_reply", r.At,
+			trace.String("device", r.DeviceID),
+			trace.Float("rssi", r.Reading.RSSI),
+			trace.Float("threshold", d.Threshold),
+			trace.Bool("pass", pass)))
 		if pass {
 			timeoutEv.Cancel()
 			finish(Result{

@@ -1,0 +1,88 @@
+package decision
+
+import (
+	"testing"
+	"time"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/geom"
+	"voiceguard/internal/trace"
+)
+
+// TestRSSIQueryEmitsReplyEvents asserts the RSSI method's per-reply
+// trace events carry the request's command ID and the reading that
+// decided the verdict.
+func TestRSSIQueryEmitsReplyEvents(t *testing.T) {
+	f := newHouseFixture(t, 11)
+	threshold := f.calibrated(t)
+	tr := trace.New(64)
+	m := &RSSIMethod{
+		Clock:   f.clock,
+		Broker:  f.broker,
+		Adv:     f.adv,
+		Devices: []DeviceConfig{{ID: "pixel5", Threshold: threshold}},
+		Tracer:  tr,
+	}
+	f.pos = floorplan.Position{Floor: 0, At: geom.Point{X: 3, Y: 2.5}} // living room
+
+	const id = trace.CommandID(77)
+	var got Result
+	m.Check(Request{At: f.clock.Now(), Speaker: "echo", Command: id}, func(r Result) { got = r })
+	f.clock.Advance(10 * time.Second)
+	if !got.Legitimate {
+		t.Fatalf("owner in room blocked: %+v", got)
+	}
+
+	var replies int
+	for _, s := range tr.Snapshot() {
+		if s.Stage != trace.StageDecision || s.Name != "rssi_reply" {
+			continue
+		}
+		replies++
+		if s.Command != id {
+			t.Fatalf("rssi_reply command = %d, want %d", s.Command, id)
+		}
+		if s.Attr("device") != "pixel5" {
+			t.Fatalf("rssi_reply device = %v", s.Attr("device"))
+		}
+		if pass, ok := s.Attr("pass").(bool); !ok || !pass {
+			t.Fatalf("rssi_reply pass = %v, want true", s.Attr("pass"))
+		}
+	}
+	if replies != 1 {
+		t.Fatalf("rssi_reply events = %d, want 1", replies)
+	}
+}
+
+// TestRSSITimeoutEmitsEvent asserts a query whose replies arrive too
+// late produces the query_timeout trace event with the command ID.
+func TestRSSITimeoutEmitsEvent(t *testing.T) {
+	f := newHouseFixture(t, 12)
+	f.pos = floorplan.Position{Floor: 0, At: geom.Point{X: 3, Y: 2.5}}
+	tr := trace.New(64)
+	m := &RSSIMethod{
+		Clock:   f.clock,
+		Broker:  f.broker,
+		Adv:     f.adv,
+		Devices: []DeviceConfig{{ID: "pixel5", Threshold: -100}},
+		// Far below the push round trip, so the deadline always wins.
+		Timeout: time.Millisecond,
+		Tracer:  tr,
+	}
+	const id = trace.CommandID(78)
+	var got Result
+	m.Check(Request{At: f.clock.Now(), Speaker: "echo", Command: id}, func(r Result) { got = r })
+	f.clock.Advance(10 * time.Second)
+	if got.Legitimate {
+		t.Fatal("silent device set approved the command")
+	}
+	found := false
+	for _, s := range tr.Snapshot() {
+		if s.Stage == trace.StageDecision && s.Name == "query_timeout" && s.Command == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no query_timeout event recorded")
+	}
+}

@@ -5,6 +5,11 @@
 // packet stream on the simulated clock, holds recognized voice-command
 // traffic, queries the Decision Module, and releases or drops the held
 // packets when the verdict arrives.
+//
+// Every spike becomes an episode with a unique command ID the moment
+// it starts being held; the episode's recognition, hold, and decision
+// phases are recorded as trace spans carrying that ID, so one
+// command's lifecycle is reconstructable end to end.
 package guard
 
 import (
@@ -15,17 +20,19 @@ import (
 	"voiceguard/internal/pcap"
 	"voiceguard/internal/recognize"
 	"voiceguard/internal/simtime"
+	"voiceguard/internal/trace"
 )
 
 // Guard-level metrics: spike and command volume, verdict split, and
 // the hold-duration distribution (the paper's Fig. 6/7 scale).
 var (
-	mSpikes      = metrics.NewCounter("guard_spikes_total")
-	mCommands    = metrics.NewCounter("guard_commands_recognized_total")
-	mAllowed     = metrics.NewCounter("guard_verdict_allow_total")
-	mBlocked     = metrics.NewCounter("guard_verdict_block_total")
-	mNonCommands = metrics.NewCounter("guard_noncommand_spikes_total")
-	mHoldSeconds = metrics.NewHistogram("guard_hold_seconds")
+	mSpikes        = metrics.NewCounter("guard_spikes_total")
+	mCommands      = metrics.NewCounter("guard_commands_recognized_total")
+	mAllowed       = metrics.NewCounter("guard_verdict_allow_total")
+	mBlocked       = metrics.NewCounter("guard_verdict_block_total")
+	mNonCommands   = metrics.NewCounter("guard_noncommand_spikes_total")
+	mHoldSeconds   = metrics.NewHistogram("guard_hold_seconds")
+	mQueriesQueued = metrics.NewCounter("guard_queries_queued_total")
 )
 
 // EventKind classifies a completed traffic-handling episode.
@@ -45,6 +52,7 @@ const (
 // Event records one handled spike.
 type Event struct {
 	Kind        EventKind
+	CommandID   trace.CommandID // lifecycle trace ID assigned at spike start
 	SpikeStart  time.Time
 	QueryStart  time.Time       // when the Decision Module was asked (EventCommand)
 	DecisionAt  time.Time       // when the verdict arrived (EventCommand)
@@ -69,11 +77,25 @@ func (e Event) VerificationTime() time.Duration {
 	return e.DecisionAt.Sub(e.SpikeStart)
 }
 
+// episode is one spike's traffic-handling state, from the first held
+// packet to its release or drop.
+type episode struct {
+	id          trace.CommandID
+	spikeStart  time.Time
+	heldPackets int
+	command     bool // recognized as a voice command
+	dispatched  bool // handed to the decision pipeline
+}
+
 // Guard is one speaker's VoiceGuard instance.
 type Guard struct {
 	clock      *simtime.Sim
 	recognizer *recognize.Recognizer
 	method     decision.Method
+
+	// Tracer receives the guard's lifecycle spans (nil in New means
+	// trace.Default).
+	Tracer *trace.Tracer
 
 	// DispatchDelay models per-speaker overhead between recognizing a
 	// command and the RSSI query being issued (the Google Home Mini's
@@ -83,11 +105,10 @@ type Guard struct {
 
 	speaker string
 
-	holding     bool
-	spikeStart  time.Time
-	heldPackets int
-	pending     bool
-	idleTimer   *simtime.Event
+	cur       *episode   // spike currently accumulating packets
+	inflight  *episode   // episode whose decision query is running
+	queue     []*episode // recognized commands awaiting the in-flight query
+	idleTimer *simtime.Event
 
 	events  []Event
 	onEvent func(Event)
@@ -100,6 +121,7 @@ func New(clock *simtime.Sim, rec *recognize.Recognizer, method decision.Method, 
 		recognizer: rec,
 		method:     method,
 		speaker:    speaker,
+		Tracer:     trace.Default,
 	}
 }
 
@@ -111,6 +133,9 @@ func (g *Guard) Events() []Event {
 	return append([]Event(nil), g.events...)
 }
 
+// tracer returns the guard's tracer, defaulting safely.
+func (g *Guard) tracer() *trace.Tracer { return trace.Or(g.Tracer) }
+
 // Feed processes one captured packet. Callers must advance the
 // simulated clock to the packet's timestamp before feeding it, so
 // pending decision callbacks interleave correctly with traffic.
@@ -118,32 +143,63 @@ func (g *Guard) Feed(p pcap.Packet) {
 	switch g.recognizer.Feed(p) {
 	case recognize.ActionHold:
 		mSpikes.Inc()
-		g.holding = true
-		g.spikeStart = p.Time
-		g.heldPackets = 1
+		g.startEpisode(p.Time, 1)
 		g.armIdleTimer(p.Time)
 	case recognize.ActionNone:
-		if g.holding {
-			g.heldPackets++
+		if g.cur != nil {
+			g.cur.heldPackets++
 			g.armIdleTimer(p.Time)
 		}
 	case recognize.ActionCommand:
 		mCommands.Inc()
-		if !g.holding {
+		// The recognizer emits ActionCommand once per spike; if the
+		// current episode was already dispatched, this is a new spike
+		// recognized on its first packet (GHM-style immediate
+		// recognition), possibly while the previous query is still in
+		// flight.
+		if g.cur == nil || g.cur.dispatched {
 			mSpikes.Inc()
-			// GHM-style immediate recognition: the spike starts and
-			// is recognized on the same packet.
-			g.holding = true
-			g.spikeStart = p.Time
-			g.heldPackets = 0
+			g.startEpisode(p.Time, 0)
 		}
-		g.heldPackets++
+		g.cur.heldPackets++
+		g.cur.command = true
 		g.disarmIdleTimer()
-		g.queryDecision()
+		g.traceClassified(g.cur, p.Time, "command")
+		g.dispatch(g.cur)
 	case recognize.ActionRelease:
-		g.heldPackets++
+		if g.cur != nil {
+			g.cur.heldPackets++
+			g.traceClassified(g.cur, p.Time, "release")
+		}
 		g.finishNonCommand()
 	}
+}
+
+// startEpisode opens a new episode: the command ID is assigned here,
+// at spike start, and bound to the recognizer so its marker events
+// correlate.
+func (g *Guard) startEpisode(at time.Time, held int) {
+	id := g.tracer().NextID()
+	g.cur = &episode{id: id, spikeStart: at, heldPackets: held}
+	g.recognizer.BindCommand(id)
+	g.tracer().Record(trace.Event(id, trace.StageGuard, "spike_start", at,
+		trace.String("speaker", g.speaker)))
+}
+
+// traceClassified closes the recognition phase of an episode: one span
+// from spike start to the classifying packet.
+func (g *Guard) traceClassified(ep *episode, at time.Time, action string) {
+	g.tracer().Record(trace.Span{
+		Command: ep.id,
+		Stage:   trace.StageRecognize,
+		Name:    "classify",
+		Start:   ep.spikeStart,
+		End:     at,
+		Attrs: []trace.Attr{
+			trace.String("action", action),
+			trace.Int("packets", ep.heldPackets),
+		},
+	})
 }
 
 // armIdleTimer (re)schedules spike finalisation one idle gap after the
@@ -153,6 +209,9 @@ func (g *Guard) armIdleTimer(last time.Time) {
 	g.idleTimer = g.clock.Schedule(last.Add(g.recognizer.IdleGap), func() {
 		g.idleTimer = nil
 		if g.recognizer.EndSpike() == recognize.ActionRelease {
+			if g.cur != nil {
+				g.traceClassified(g.cur, g.clock.Now(), "release")
+			}
 			g.finishNonCommand()
 		}
 	})
@@ -165,29 +224,68 @@ func (g *Guard) disarmIdleTimer() {
 	}
 }
 
-// queryDecision starts the Decision Module check after the dispatch
-// delay.
-func (g *Guard) queryDecision() {
-	if g.pending {
+// dispatch hands a recognized command to the Decision Module. If a
+// query is already in flight (a second command spike recognized while
+// the first verdict is pending), the episode is queued and its query
+// starts the moment the in-flight one completes — previously such a
+// spike was silently left held with no timer and no pending query.
+func (g *Guard) dispatch(ep *episode) {
+	if ep.dispatched {
 		return
 	}
-	g.pending = true
-	spikeStart := g.spikeStart
+	ep.dispatched = true
+	if g.inflight != nil {
+		mQueriesQueued.Inc()
+		g.queue = append(g.queue, ep)
+		g.tracer().Record(trace.Event(ep.id, trace.StageGuard, "query_queued", g.clock.Now(),
+			trace.Int("queue_depth", len(g.queue)),
+			trace.Int64("behind", int64(g.inflight.id))))
+		return
+	}
+	g.startQuery(ep)
+}
+
+// startQuery starts the Decision Module check for one episode after
+// the dispatch delay.
+func (g *Guard) startQuery(ep *episode) {
+	g.inflight = ep
 	start := func() {
 		queryStart := g.clock.Now()
-		g.method.Check(decision.Request{At: queryStart, Speaker: g.speaker}, func(r decision.Result) {
-			g.pending = false
-			g.holding = false
-			ev := Event{
+		g.method.Check(decision.Request{At: queryStart, Speaker: g.speaker, Command: ep.id}, func(r decision.Result) {
+			g.inflight = nil
+			if g.cur == ep {
+				g.cur = nil
+			}
+			outcome := trace.OutcomeDrop
+			if r.Legitimate {
+				outcome = trace.OutcomeRelease
+			}
+			g.tracer().Record(trace.Span{
+				Command: ep.id,
+				Stage:   trace.StageDecision,
+				Name:    g.method.Name(),
+				Start:   queryStart,
+				End:     r.At,
+				Attrs: []trace.Attr{
+					trace.String(trace.AttrOutcome, outcome),
+					trace.String("reason", r.Reason),
+				},
+			})
+			g.record(Event{
 				Kind:        EventCommand,
-				SpikeStart:  spikeStart,
+				CommandID:   ep.id,
+				SpikeStart:  ep.spikeStart,
 				QueryStart:  queryStart,
 				DecisionAt:  r.At,
 				Verdict:     r,
 				Released:    r.Legitimate,
-				HeldPackets: g.heldPackets,
+				HeldPackets: ep.heldPackets,
+			})
+			if len(g.queue) > 0 {
+				next := g.queue[0]
+				g.queue = append(g.queue[:0], g.queue[1:]...)
+				g.startQuery(next)
 			}
-			g.record(ev)
 		})
 	}
 	if g.DispatchDelay > 0 {
@@ -200,30 +298,50 @@ func (g *Guard) queryDecision() {
 // finishNonCommand completes a held spike that turned out not to be a
 // command.
 func (g *Guard) finishNonCommand() {
-	if !g.holding {
+	ep := g.cur
+	if ep == nil || ep.command {
 		return
 	}
-	g.holding = false
+	g.cur = nil
 	g.record(Event{
 		Kind:        EventNonCommand,
-		SpikeStart:  g.spikeStart,
+		CommandID:   ep.id,
+		SpikeStart:  ep.spikeStart,
 		Released:    true,
-		HeldPackets: g.heldPackets,
+		HeldPackets: ep.heldPackets,
 	})
 }
 
 func (g *Guard) record(ev Event) {
+	end := g.clock.Now()
+	attrs := []trace.Attr{
+		trace.String("speaker", g.speaker),
+		trace.Int("held_packets", ev.HeldPackets),
+	}
 	switch ev.Kind {
 	case EventCommand:
 		if ev.Released {
 			mAllowed.Inc()
+			attrs = append(attrs, trace.String(trace.AttrOutcome, trace.OutcomeRelease))
 		} else {
 			mBlocked.Inc()
+			attrs = append(attrs, trace.String(trace.AttrOutcome, trace.OutcomeDrop))
 		}
 		mHoldSeconds.Observe(ev.HoldDuration())
+		end = ev.DecisionAt
 	case EventNonCommand:
 		mNonCommands.Inc()
+		attrs = append(attrs, trace.String(trace.AttrOutcome, trace.OutcomeRelease),
+			trace.Bool("noncommand", true))
 	}
+	g.tracer().Record(trace.Span{
+		Command: ev.CommandID,
+		Stage:   trace.StageGuard,
+		Name:    "hold",
+		Start:   ev.SpikeStart,
+		End:     end,
+		Attrs:   attrs,
+	})
 	g.events = append(g.events, ev)
 	if g.onEvent != nil {
 		g.onEvent(ev)

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"voiceguard/internal/metrics"
+	"voiceguard/internal/trace"
 )
 
 // Transport metrics: session lifecycle, hold outcomes, byte volume in
@@ -211,6 +213,8 @@ type Session struct {
 
 	mu        sync.Mutex
 	holding   bool
+	holdStart time.Time // wall-clock moment the active hold began
+	cmd       trace.CommandID
 	queue     [][]byte
 	queued    int
 	heldTotal int // lifetime bytes that passed through a hold
@@ -218,6 +222,32 @@ type Session struct {
 
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+// BindCommand attaches the lifecycle trace ID of the command whose
+// traffic this session is currently holding, so the transport-level
+// hold span correlates with the guard's spans. Call before or right
+// after Hold.
+func (s *Session) BindCommand(id trace.CommandID) {
+	s.mu.Lock()
+	s.cmd = id
+	s.mu.Unlock()
+}
+
+// traceHoldLocked records the proxy-stage span for a finished hold.
+// Callers hold s.mu.
+func (s *Session) traceHoldLocked(outcome string, bytes int) {
+	trace.Default.Record(trace.Span{
+		Command: s.cmd,
+		Stage:   trace.StageProxy,
+		Name:    "hold",
+		Start:   s.holdStart,
+		End:     time.Now(),
+		Attrs: []trace.Attr{
+			trace.String(trace.AttrOutcome, outcome),
+			trace.Int("bytes", bytes),
+		},
+	})
 }
 
 // ClientAddr returns the speaker-side remote address.
@@ -234,6 +264,7 @@ func (s *Session) Hold() {
 	defer s.mu.Unlock()
 	if !s.holding {
 		mHolds.Inc()
+		s.holdStart = time.Now()
 	}
 	s.holding = true
 }
@@ -276,6 +307,7 @@ func (s *Session) Release() error {
 	defer s.mu.Unlock()
 	mReleases.Inc()
 	mHoldQueueBytes.Add(-int64(s.queued))
+	wasHolding, flushed := s.holding, s.queued
 	for _, chunk := range s.queue {
 		if _, err := s.server.Write(chunk); err != nil {
 			s.queue = nil
@@ -287,6 +319,9 @@ func (s *Session) Release() error {
 	s.queue = nil
 	s.queued = 0
 	s.holding = false
+	if wasHolding {
+		s.traceHoldLocked(trace.OutcomeRelease, flushed)
+	}
 	return nil
 }
 
@@ -301,9 +336,13 @@ func (s *Session) Drop() int {
 	mHoldQueueBytes.Add(-int64(s.queued))
 	n := s.queued
 	s.dropped += n
+	wasHolding := s.holding
 	s.queue = nil
 	s.queued = 0
 	s.holding = false
+	if wasHolding {
+		s.traceHoldLocked(trace.OutcomeDrop, n)
+	}
 	return n
 }
 

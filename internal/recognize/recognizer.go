@@ -5,6 +5,7 @@ import (
 
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/pcap"
+	"voiceguard/internal/trace"
 	"voiceguard/internal/trafficgen"
 )
 
@@ -72,9 +73,26 @@ type Recognizer struct {
 	Tracker   *AVSTracker
 	IdleGap   time.Duration
 
+	// Tracer receives marker events for the spike being classified
+	// (nil uses trace.Default).
+	Tracer *trace.Tracer
+
 	buf       []pcap.Packet
 	lastVoice time.Time
 	decided   bool
+	cmd       trace.CommandID
+}
+
+// BindCommand attaches the command ID of the spike currently being
+// classified, so the recognizer's marker events correlate with the
+// guard's spans. The guard calls this when it starts holding a spike.
+func (r *Recognizer) BindCommand(id trace.CommandID) { r.cmd = id }
+
+// traceMarker records one instantaneous classification-evidence event
+// for the bound command.
+func (r *Recognizer) traceMarker(name string, at time.Time) {
+	trace.Or(r.Tracer).Record(trace.Event(r.cmd, trace.StageRecognize, name, at,
+		trace.Int("packets", len(r.buf))))
 }
 
 // NewEcho returns a streaming recognizer for an Amazon Echo Dot.
@@ -146,11 +164,13 @@ func (r *Recognizer) tryDecide() Action {
 	// Response markers can be spotted as soon as they appear.
 	if hasAdjacent(lengths, trafficgen.P77, trafficgen.P33, responseWindow) {
 		mPhase2Markers.Inc()
+		r.traceMarker("phase2_marker", r.lastVoice)
 		r.decided = true
 		return ActionRelease
 	}
 	if hasWithin(lengths, trafficgen.P138, commandWindow) || hasWithin(lengths, trafficgen.P75, commandWindow) {
 		mPhase1Markers.Inc()
+		r.traceMarker("phase1_marker", r.lastVoice)
 		r.decided = true
 		return ActionCommand
 	}
@@ -159,6 +179,7 @@ func (r *Recognizer) tryDecide() Action {
 	}
 	if matchesCommandFallback(lengths) {
 		mFallbackMatches.Inc()
+		r.traceMarker("fallback_match", r.lastVoice)
 		r.decided = true
 		return ActionCommand
 	}

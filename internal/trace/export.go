@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// spanRecord is the JSONL schema: one object per line. Times are both
+// RFC3339Nano (human) and microseconds (tooling); attrs flatten to an
+// object.
+type spanRecord struct {
+	Command uint64         `json:"command_id"`
+	Stage   string         `json:"stage"`
+	Name    string         `json:"name"`
+	Start   string         `json:"start"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// record converts a span to its JSONL form.
+func record(s Span) spanRecord {
+	r := spanRecord{
+		Command: uint64(s.Command),
+		Stage:   s.Stage,
+		Name:    s.Name,
+		Start:   s.Start.UTC().Format(time.RFC3339Nano),
+		StartUS: s.Start.UnixMicro(),
+		DurUS:   s.Duration().Microseconds(),
+	}
+	if len(s.Attrs) > 0 {
+		r.Attrs = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			r.Attrs[a.Key] = a.Value
+		}
+	}
+	return r
+}
+
+// WriteJSONL writes the spans as JSON Lines, one span per line.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(record(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONLSink returns a streaming sink writing each recorded span to w
+// as one JSONL line, for Tracer.SetSink. The sink serialises
+// concurrent recorders with a mutex; errors after the first write
+// failure are dropped.
+func JSONLSink(w io.Writer) func(Span) {
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(s Span) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(record(s))
+	}
+}
+
+// chromeEvent is one trace_event object in the Chrome/Perfetto JSON
+// format. Spans map to complete ("X") events and instant events to
+// "i", with the command ID as the thread ID so chrome://tracing lays
+// each command out on its own track.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the spans in Chrome trace_event JSON
+// (object form), loadable in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Stage + "/" + s.Name,
+			Cat:  s.Stage,
+			TS:   s.Start.UnixMicro(),
+			PID:  1,
+			TID:  uint64(s.Command),
+		}
+		if d := s.Duration(); d > 0 {
+			ev.Phase = "X"
+			ev.Dur = d.Microseconds()
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// Handler serves the tracer's flight recorder over HTTP: JSONL by
+// default, Chrome trace_event with ?format=chrome.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		spans := t.Snapshot()
+		if req.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := WriteChromeTrace(w, spans); err != nil {
+				http.Error(w, fmt.Sprintf("trace: %v", err), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteJSONL(w, spans)
+	})
+}

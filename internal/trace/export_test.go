@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{
+			Command: 1, Stage: StageRecognize, Name: "classify",
+			Start: t0, End: t0.Add(200 * time.Millisecond),
+			Attrs: []Attr{String("action", "command"), Int("packets", 5)},
+		},
+		Event(1, StageDecision, "rssi_reply", t0.Add(time.Second), Float("rssi", -7.5)),
+		{
+			Command: 1, Stage: StageGuard, Name: "hold",
+			Start: t0, End: t0.Add(1600 * time.Millisecond),
+			Attrs: []Attr{String(AttrOutcome, OutcomeRelease)},
+		},
+	}
+}
+
+func TestWriteJSONLSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if first["command_id"] != float64(1) || first["stage"] != StageRecognize || first["name"] != "classify" {
+		t.Fatalf("unexpected first record: %v", first)
+	}
+	if first["dur_us"] != float64(200_000) {
+		t.Fatalf("dur_us = %v, want 200000", first["dur_us"])
+	}
+	attrs, ok := first["attrs"].(map[string]any)
+	if !ok || attrs["action"] != "command" || attrs["packets"] != float64(5) {
+		t.Fatalf("attrs = %v", first["attrs"])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, first["start"].(string)); err != nil {
+		t.Fatalf("start not RFC3339Nano: %v", err)
+	}
+}
+
+func TestJSONLSinkStreams(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := JSONLSink(f)
+	for _, s := range sampleSpans() {
+		sink(s)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	n := 0
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", n+1, err)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("sink wrote %d lines, want 3", n)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("traceEvents = %d, want 3", len(doc.TraceEvents))
+	}
+	first := doc.TraceEvents[0]
+	if first["ph"] != "X" || first["dur"] != float64(200_000) {
+		t.Fatalf("duration span exported as %v", first)
+	}
+	if first["tid"] != float64(1) {
+		t.Fatalf("tid = %v, want the command id", first["tid"])
+	}
+	instant := doc.TraceEvents[1]
+	if instant["ph"] != "i" || instant["s"] != "t" {
+		t.Fatalf("instant event exported as %v", instant)
+	}
+}
+
+func TestHandlerServesBothFormats(t *testing.T) {
+	tr := New(64)
+	for _, s := range sampleSpans() {
+		tr.Record(s)
+	}
+	h := Handler(tr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	if lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n"); len(lines) != 3 {
+		t.Fatalf("handler served %d JSONL lines, want 3", len(lines))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?format=chrome", nil))
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome format not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("chrome traceEvents = %d, want 3", len(doc.TraceEvents))
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LevelOff disables span logging entirely (the -log-level=off value).
+const LevelOff = slog.Level(127)
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	case "off", "none", "":
+		return LevelOff, nil
+	default:
+		return 0, fmt.Errorf("trace: invalid log level %q (want off, debug, info, warn, or error)", s)
+	}
+}
+
+// NewLogger builds a structured logger writing to w in the given
+// format ("text" or "json") at the given level.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("trace: invalid log format %q (want text or json)", format)
+	}
+}
+
+// SetupFromFlags configures tr from the -log-level / -log-format /
+// -trace-out flag values the vg* commands share: a stderr slog logger
+// (unless the level is off) and a streaming JSONL span sink when
+// traceOut names a file. The returned close function flushes and
+// closes the trace file; call it before exit.
+func SetupFromFlags(tr *Tracer, logLevel, logFormat, traceOut string) (func() error, error) {
+	level, err := ParseLevel(logLevel)
+	if err != nil {
+		return nil, err
+	}
+	if level != LevelOff {
+		logger, err := NewLogger(os.Stderr, logFormat, level)
+		if err != nil {
+			return nil, err
+		}
+		tr.SetLogger(logger)
+	} else if _, err := NewLogger(io.Discard, logFormat, level); err != nil {
+		return nil, err // still reject a bad -log-format
+	}
+
+	if traceOut == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		return nil, fmt.Errorf("trace: -trace-out: %w", err)
+	}
+	tr.SetSink(JSONLSink(f))
+	return func() error {
+		tr.SetSink(nil)
+		return f.Close()
+	}, nil
+}

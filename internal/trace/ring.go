@@ -1,0 +1,58 @@
+package trace
+
+import "sync/atomic"
+
+// Recorder is the lock-free flight recorder: a fixed-size ring of the
+// most recently recorded spans. Writers claim a slot with one atomic
+// add and publish the span with one atomic pointer store; readers
+// snapshot without blocking writers. Under heavy concurrent write
+// load a snapshot is best-effort (a slot being overwritten may show
+// its newer value), which is exactly what a flight recorder wants:
+// the recent past, cheaply.
+type Recorder struct {
+	slots []atomic.Pointer[Span]
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewRecorder returns a recorder keeping the last capacity spans,
+// rounded up to a power of two (minimum 16).
+func NewRecorder(capacity int) *Recorder {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Span], n), mask: uint64(n - 1)}
+}
+
+// Cap returns the recorder's capacity.
+func (r *Recorder) Cap() int { return len(r.slots) }
+
+// Recorded returns the lifetime number of spans put into the ring.
+func (r *Recorder) Recorded() uint64 { return r.next.Load() }
+
+// Put stores one span, overwriting the oldest once the ring is full.
+// The span is copied by the caller (Tracer.Record passes a fresh
+// pointer), so stored spans are immutable.
+func (r *Recorder) Put(s *Span) {
+	i := r.next.Add(1) - 1
+	r.slots[i&r.mask].Store(s)
+}
+
+// Snapshot returns the ring's contents, oldest first. Slots not yet
+// written (a young ring) are skipped.
+func (r *Recorder) Snapshot() []Span {
+	n := r.next.Load()
+	count := uint64(len(r.slots))
+	start := uint64(0)
+	if n > count {
+		start = n - count
+	}
+	out := make([]Span, 0, n-start)
+	for i := start; i < n; i++ {
+		if s := r.slots[i&r.mask].Load(); s != nil {
+			out = append(out, *s)
+		}
+	}
+	return out
+}

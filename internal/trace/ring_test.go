@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderRoundsUpToPowerOfTwo(t *testing.T) {
+	cases := map[int]int{0: 16, 1: 16, 16: 16, 17: 32, 100: 128, 4096: 4096}
+	for in, want := range cases {
+		if got := NewRecorder(in).Cap(); got != want {
+			t.Fatalf("NewRecorder(%d).Cap() = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestRecorderKeepsLastN(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 1; i <= 40; i++ {
+		r.Put(&Span{Command: CommandID(i)})
+	}
+	if r.Recorded() != 40 {
+		t.Fatalf("Recorded = %d, want 40", r.Recorded())
+	}
+	got := r.Snapshot()
+	if len(got) != 16 {
+		t.Fatalf("snapshot = %d spans, want 16", len(got))
+	}
+	for i, s := range got {
+		if want := CommandID(25 + i); s.Command != want {
+			t.Fatalf("snapshot[%d].Command = %d, want %d (oldest-first order)", i, s.Command, want)
+		}
+	}
+}
+
+func TestRecorderYoungRing(t *testing.T) {
+	r := NewRecorder(16)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %d spans", len(got))
+	}
+	r.Put(&Span{Command: 1})
+	r.Put(&Span{Command: 2})
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].Command != 1 || got[1].Command != 2 {
+		t.Fatalf("young ring snapshot = %+v", got)
+	}
+}
+
+// TestRecorderConcurrentPut hammers the ring from many goroutines
+// while snapshotting; run under -race this proves the lock-free claim.
+func TestRecorderConcurrentPut(t *testing.T) {
+	r := NewRecorder(64)
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Put(&Span{Command: CommandID(w*perWriter + i + 1)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			for _, s := range r.Snapshot() {
+				if s.Command == 0 {
+					t.Error("snapshot observed a zero span")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Recorded() != writers*perWriter {
+		t.Fatalf("Recorded = %d, want %d", r.Recorded(), writers*perWriter)
+	}
+	if got := len(r.Snapshot()); got != 64 {
+		t.Fatalf("final snapshot = %d spans, want 64", got)
+	}
+}
+
+func BenchmarkRecorderPut(b *testing.B) {
+	r := NewRecorder(DefaultRecorderSize)
+	s := &Span{Command: 1, Stage: StageGuard, Name: "hold"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Put(s)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/proxy"
+	"voiceguard/internal/trace"
 )
 
 // Wire-plane metrics shared by LiveProxy and LiveGuard: burst/command
@@ -84,13 +85,17 @@ func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 			if !newBurst || s.Holding() {
 				return
 			}
+			id := trace.Default.NextID()
+			s.BindCommand(id)
 			s.Hold()
+			trace.Default.Record(trace.Event(id, trace.StageLive, "burst_hold", now,
+				trace.Int("first_chunk_bytes", len(data))))
 			lp.mu.Lock()
 			lp.held++
 			lp.mu.Unlock()
 			mLiveHeld.Inc()
 			lp.wg.Add(1)
-			go lp.adjudicate(s)
+			go lp.adjudicate(s, id)
 		}))
 	if err != nil {
 		cancel()
@@ -101,11 +106,24 @@ func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 }
 
 // adjudicate runs the decision for one held burst.
-func (lp *LiveProxy) adjudicate(s *proxy.Session) {
+func (lp *LiveProxy) adjudicate(s *proxy.Session, id trace.CommandID) {
 	defer lp.wg.Done()
 	start := time.Now()
-	legit := lp.decide(lp.ctx)
-	mLiveHoldSeconds.Observe(time.Since(start))
+	legit := lp.decide(trace.WithCommand(lp.ctx, id))
+	end := time.Now()
+	mLiveHoldSeconds.Observe(end.Sub(start))
+	outcome := trace.OutcomeDrop
+	if legit {
+		outcome = trace.OutcomeRelease
+	}
+	trace.Default.Record(trace.Span{
+		Command: id,
+		Stage:   trace.StageDecision,
+		Name:    "live_decide",
+		Start:   start,
+		End:     end,
+		Attrs:   []trace.Attr{trace.String(trace.AttrOutcome, outcome)},
+	})
 	if legit {
 		_ = s.Release()
 		lp.mu.Lock()

@@ -11,6 +11,7 @@ import (
 	"voiceguard/internal/pcap"
 	"voiceguard/internal/proxy"
 	"voiceguard/internal/recognize"
+	"voiceguard/internal/trace"
 )
 
 // speakerWireIP / cloudWireIP are the synthetic addresses the live
@@ -61,6 +62,8 @@ type liveSession struct {
 	srcPort   int
 	deciding  bool
 	idleTimer *time.Timer
+	cmd       trace.CommandID // lifecycle ID of the spike being classified
+	spikeAt   time.Time       // wall-clock start of that spike
 }
 
 // StartLiveGuard launches the wire-plane guard: listen on listenAddr,
@@ -144,7 +147,13 @@ func (g *LiveGuard) feedLocked(s *proxy.Session, ls *liveSession, data []byte) {
 func (g *LiveGuard) handleAction(s *proxy.Session, ls *liveSession, action recognize.Action) {
 	switch action {
 	case recognize.ActionHold:
+		ls.cmd = trace.Default.NextID()
+		ls.spikeAt = time.Now()
+		ls.rec.BindCommand(ls.cmd)
+		s.BindCommand(ls.cmd)
 		s.Hold()
+		trace.Default.Record(trace.Event(ls.cmd, trace.StageLive, "spike_start", ls.spikeAt,
+			trace.Int("src_port", ls.srcPort)))
 		g.armIdleTimer(s, ls)
 	case recognize.ActionNone:
 		if s.Holding() {
@@ -152,6 +161,7 @@ func (g *LiveGuard) handleAction(s *proxy.Session, ls *liveSession, action recog
 		}
 	case recognize.ActionCommand:
 		g.disarmIdleTimer(ls)
+		g.traceClassify(ls, "command")
 		if ls.deciding {
 			return
 		}
@@ -159,13 +169,27 @@ func (g *LiveGuard) handleAction(s *proxy.Session, ls *liveSession, action recog
 		g.stats.CommandsHeld++
 		mLiveHeld.Inc()
 		g.wg.Add(1)
-		go g.adjudicate(s, ls)
+		go g.adjudicate(s, ls.cmd)
 	case recognize.ActionRelease:
 		g.disarmIdleTimer(ls)
+		g.traceClassify(ls, "release")
 		g.stats.NonCommands++
 		mLiveNonCommands.Inc()
 		_ = s.Release()
 	}
+}
+
+// traceClassify records the recognize-stage span for the spike whose
+// classification just completed. Callers hold g.mu.
+func (g *LiveGuard) traceClassify(ls *liveSession, action string) {
+	trace.Default.Record(trace.Span{
+		Command: ls.cmd,
+		Stage:   trace.StageRecognize,
+		Name:    "classify",
+		Start:   ls.spikeAt,
+		End:     time.Now(),
+		Attrs:   []trace.Attr{trace.String("action", action)},
+	})
 }
 
 // armIdleTimer schedules spike finalisation; an undecided spike whose
@@ -176,6 +200,7 @@ func (g *LiveGuard) armIdleTimer(s *proxy.Session, ls *liveSession) {
 		g.mu.Lock()
 		defer g.mu.Unlock()
 		if ls.rec.EndSpike() == recognize.ActionRelease {
+			g.traceClassify(ls, "release")
 			g.stats.NonCommands++
 			mLiveNonCommands.Inc()
 			_ = s.Release()
@@ -191,14 +216,29 @@ func (g *LiveGuard) disarmIdleTimer(ls *liveSession) {
 }
 
 // adjudicate consults the DecisionFunc for one held command.
-func (g *LiveGuard) adjudicate(s *proxy.Session, ls *liveSession) {
+func (g *LiveGuard) adjudicate(s *proxy.Session, id trace.CommandID) {
 	defer g.wg.Done()
 	start := time.Now()
-	legit := g.decide(g.ctx)
-	mLiveHoldSeconds.Observe(time.Since(start))
+	legit := g.decide(trace.WithCommand(g.ctx, id))
+	end := time.Now()
+	mLiveHoldSeconds.Observe(end.Sub(start))
+	outcome := trace.OutcomeDrop
+	if legit {
+		outcome = trace.OutcomeRelease
+	}
+	trace.Default.Record(trace.Span{
+		Command: id,
+		Stage:   trace.StageDecision,
+		Name:    "live_decide",
+		Start:   start,
+		End:     end,
+		Attrs:   []trace.Attr{trace.String(trace.AttrOutcome, outcome)},
+	})
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	ls.deciding = false
+	if ls, ok := g.sessions[s]; ok {
+		ls.deciding = false
+	}
 	if legit {
 		g.stats.CommandsReleased++
 		mLiveReleased.Inc()

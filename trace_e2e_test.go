@@ -1,0 +1,122 @@
+package voiceguard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"voiceguard/internal/emul"
+	"voiceguard/internal/trace"
+)
+
+// TestCommandLifecycleTraceLinksAllStages is the tracing layer's
+// acceptance test: one synthetic voice command travels the full wire
+// pipeline — recognition, hold, decision, transport release — and the
+// exported JSONL must link every stage's spans through one command ID,
+// the same ID the DecisionFunc observed in its context.
+func TestCommandLifecycleTraceLinksAllStages(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "spans.jsonl")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.Default.SetSink(trace.JSONLSink(f))
+	defer func() {
+		trace.Default.SetSink(nil)
+		_ = f.Close()
+	}()
+
+	cloud, err := emul.NewCloudServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	ctxID := make(chan trace.CommandID, 1)
+	guard, err := StartLiveGuard("127.0.0.1:0", cloud.Addr(), func(ctx context.Context) bool {
+		id, _ := trace.CommandFromContext(ctx)
+		ctxID <- id
+		return true
+	}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Close()
+
+	speaker, err := emul.DialSpeaker(guard.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+	if err := speaker.SendPattern(commandLengths, emul.MsgCommand); err != nil {
+		t.Fatal(err)
+	}
+	if err := speaker.SendPattern([]int{60}, emul.MsgEnd); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := speaker.Await(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != emul.MsgResponse {
+		t.Fatalf("frame = %c, want response", frame.Type)
+	}
+	waitStats(t, guard, func(s LiveGuardStats) bool { return s.CommandsReleased == 1 })
+
+	var id trace.CommandID
+	select {
+	case id = <-ctxID:
+	case <-time.After(time.Second):
+		t.Fatal("DecisionFunc never ran")
+	}
+	if id == 0 {
+		t.Fatal("DecisionFunc context carried no command ID")
+	}
+
+	// Read back the export and group its spans by stage for our ID.
+	trace.Default.SetSink(nil)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	type record struct {
+		CommandID uint64 `json:"command_id"`
+		Stage     string `json:"stage"`
+		Name      string `json:"name"`
+		DurUS     int64  `json:"dur_us"`
+	}
+	got := make(map[string]bool) // "stage/name" for the traced command
+	sc := bufio.NewScanner(rf)
+	for sc.Scan() {
+		var r record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line: %v\n%s", err, sc.Text())
+		}
+		if r.CommandID == uint64(id) {
+			got[r.Stage+"/"+r.Name] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		trace.StageLive + "/spike_start",        // burst held on the wire
+		trace.StageRecognize + "/phase1_marker", // recognition evidence
+		trace.StageRecognize + "/classify",      // spike classified a command
+		trace.StageDecision + "/live_decide",    // DecisionFunc consulted
+		trace.StageProxy + "/hold",              // transport hold released
+	} {
+		if !got[want] {
+			t.Errorf("command %d missing span %s; got %v", id, want, got)
+		}
+	}
+}
