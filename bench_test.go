@@ -9,13 +9,13 @@ package voiceguard
 import (
 	"context"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"voiceguard/internal/ble"
 	"voiceguard/internal/corpus"
 	"voiceguard/internal/decision"
-	"voiceguard/internal/emul"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/mobility"
 	"voiceguard/internal/netem"
@@ -131,17 +131,14 @@ func BenchmarkFig6DelayCases(b *testing.B) {
 }
 
 func BenchmarkFig7QueryDelay(b *testing.B) {
+	speakers := []scenario.SpeakerKind{scenario.Echo, scenario.GHM}
 	var echo, ghm *scenario.DelayStudy
 	for i := 0; i < b.N; i++ {
-		var err error
-		echo, err = scenario.QueryDelayStudy(scenario.Echo, 50, int64(i+1))
+		studies, err := scenario.QueryDelayStudies(speakers, 50, int64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}
-		ghm, err = scenario.QueryDelayStudy(scenario.GHM, 50, int64(i+1))
-		if err != nil {
-			b.Fatal(err)
-		}
+		echo, ghm = studies[0], studies[1]
 	}
 	b.ReportMetric(echo.Summary.Mean, "echo_mean_s")
 	b.ReportMetric(ghm.Summary.Mean, "ghm_mean_s")
@@ -409,6 +406,7 @@ func BenchmarkSpikeClassification(b *testing.B) {
 	echo.AnomalyRate = 0
 	inv := echo.Invocation(time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC), 1)
 	lengths := inv.CommandSpike().Lengths()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if recognize.ClassifyEchoSpike(lengths) != recognize.ClassCommand {
@@ -441,6 +439,7 @@ func BenchmarkTLSRecordParse(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pcap.ParseRecords(payload); err != nil {
@@ -455,51 +454,160 @@ func BenchmarkRadioSample(b *testing.B) {
 	spot, _ := plan.Spot("A")
 	loc := plan.MustLocation(55)
 	src := rng.New(3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model.Sample(spot.Pos, loc.Pos, radio.Pixel5, src)
 	}
 }
 
-// BenchmarkProxyThroughput measures pass-through copying through the
-// transparent proxy on loopback.
-func BenchmarkProxyThroughput(b *testing.B) {
-	cloud, err := emul.NewCloudServer("127.0.0.1:0")
+// proxyBenchHarness stands up the transparent proxy between a raw
+// client connection and a byte-discarding upstream sink, so the
+// benchmark loop measures only the proxy's forwarding path (the emul
+// framing layer allocates per message and would mask it). It returns
+// the client conn, the cumulative byte count at the sink, and a
+// channel closed when the sink sees EOF.
+func proxyBenchHarness(b *testing.B) (client *net.TCPConn, sunk *atomic.Int64, done chan struct{}, p *proxy.TCP) {
+	b.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer cloud.Close()
-	p, err := proxy.NewTCP("127.0.0.1:0", func(ctx context.Context) (net.Conn, error) {
+	b.Cleanup(func() { _ = lis.Close() })
+
+	sunk = &atomic.Int64{}
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := conn.Read(buf)
+			sunk.Add(int64(n))
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	p, err = proxy.NewTCP("127.0.0.1:0", func(ctx context.Context) (net.Conn, error) {
 		var d net.Dialer
-		return d.DialContext(ctx, "tcp", cloud.Addr())
+		return d.DialContext(ctx, "tcp", lis.Addr().String())
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer p.Close()
-	client, err := emul.DialSpeaker(p.Addr())
+	b.Cleanup(func() { _ = p.Close() })
+
+	conn, err := net.Dial("tcp", p.Addr())
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer client.Close()
+	b.Cleanup(func() { _ = conn.Close() })
+	return conn.(*net.TCPConn), sunk, done, p
+}
+
+// awaitSink blocks until the upstream sink has absorbed want bytes.
+func awaitSink(b *testing.B, sunk *atomic.Int64, want int64) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for sunk.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("sink stalled at %d of %d bytes", sunk.Load(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// BenchmarkProxyThroughput measures the pass-through path of the
+// transparent proxy on loopback: raw 4 KiB writes through the proxy
+// into a discard sink. The path is zero-copy (the read buffer goes
+// straight to the upstream write) and must stay at 0 allocs/op.
+func BenchmarkProxyThroughput(b *testing.B) {
+	client, sunk, done, _ := proxyBenchHarness(b)
 
 	const chunk = 4096
+	payload := make([]byte, chunk)
+	// Prime the session (buffer pool, TCP windows) before measuring.
+	if _, err := client.Write(payload); err != nil {
+		b.Fatal(err)
+	}
+	awaitSink(b, sunk, chunk)
+
 	b.SetBytes(chunk)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := client.SendPattern([]int{chunk}, emul.MsgCommand); err != nil {
+		if _, err := client.Write(payload); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
-	// Push one end frame and await the response so every sent byte is
-	// known to have traversed the proxy.
-	if err := client.SendPattern([]int{60}, emul.MsgEnd); err != nil {
+	// Barrier: half-close and wait for EOF at the sink so every sent
+	// byte is known to have traversed the proxy.
+	if err := client.CloseWrite(); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := client.Await(5 * time.Second); err != nil {
+	<-done
+	if got, want := sunk.Load(), int64(chunk)*int64(b.N+1); got != want {
+		b.Fatalf("sink saw %d bytes, want %d", got, want)
+	}
+}
+
+// BenchmarkProxyHeldThroughput measures the hold path: each iteration
+// holds the session, pushes 8 chunks into the hold queue, and
+// releases them upstream — the Fig. 4 case II transport cost. Hold
+// copies land in pooled buffers, so allocs/op stays flat no matter
+// how many commands a session holds over its lifetime.
+func BenchmarkProxyHeldThroughput(b *testing.B) {
+	client, sunk, _, p := proxyBenchHarness(b)
+
+	const (
+		chunk     = 4096
+		perHold   = 8
+		holdBytes = chunk * perHold
+	)
+	payload := make([]byte, chunk)
+	if _, err := client.Write(payload); err != nil {
 		b.Fatal(err)
 	}
+	awaitSink(b, sunk, chunk)
+	sessions := p.Sessions()
+	if len(sessions) != 1 {
+		b.Fatalf("sessions = %d, want 1", len(sessions))
+	}
+	sess := sessions[0]
+
+	b.SetBytes(holdBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Hold()
+		for j := 0; j < perHold; j++ {
+			if _, err := client.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// The hold queue owns copies of all chunks before release;
+		// coalescing by the TCP stack may merge writes, so wait on
+		// bytes, not chunk count.
+		deadline := time.Now().Add(10 * time.Second)
+		for sess.QueuedBytes() < holdBytes {
+			if time.Now().After(deadline) {
+				b.Fatalf("hold queue stalled at %d of %d bytes", sess.QueuedBytes(), holdBytes)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		if err := sess.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	awaitSink(b, sunk, int64(chunk)+int64(holdBytes)*int64(b.N))
 }
 
 func BenchmarkTraceFeatureExtraction(b *testing.B) {

@@ -11,18 +11,22 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"voiceguard/internal/corpus"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/netem"
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/report"
 	"voiceguard/internal/scenario"
+	"voiceguard/internal/stats"
 	"voiceguard/internal/trace"
 )
 
@@ -37,6 +41,7 @@ func main() {
 		logLevel    = flag.String("log-level", "off", "structured log level: off|debug|info|warn|error")
 		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
 		traceOut    = flag.String("trace-out", "", "write every recorded span to this JSONL file")
+		jsonOut     = flag.String("json", "", "write per-experiment wall time, allocations, and pct_* quality metrics to this JSON file")
 	)
 	flag.Parse()
 
@@ -62,6 +67,81 @@ func main() {
 	// evidence: counter and latency drift shows up in the diff.
 	fmt.Println("\n== metrics ==")
 	_ = metrics.WriteTable(os.Stdout, metrics.Default.Snapshot())
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "vgbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchRecord is one experiment's entry in the -json output: wall
+// time, allocation counts read from the runtime (process-wide deltas,
+// like a benchmark's allocs/op at one iteration), and the same pct_*
+// quality metrics the bench_test.go benchmarks report.
+type benchRecord struct {
+	Name     string             `json:"name"`
+	NsPerOp  int64              `json:"ns_per_op"`
+	AllocsOp uint64             `json:"allocs_per_op"`
+	BytesOp  uint64             `json:"bytes_per_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+var (
+	benchRecords  []benchRecord
+	currentRecord *benchRecord
+)
+
+// recordMetric attaches a pct_* quality metric to the experiment
+// currently being timed. Outside a timed experiment it is a no-op.
+func recordMetric(name string, value float64) {
+	if currentRecord == nil {
+		return
+	}
+	if currentRecord.Metrics == nil {
+		currentRecord.Metrics = make(map[string]float64)
+	}
+	currentRecord.Metrics[name] = value
+}
+
+// timed runs one experiment while recording wall time and allocation
+// deltas for the -json artifact.
+func timed(name string, fn func() error) error {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rec := benchRecord{Name: name}
+	currentRecord = &rec
+	start := time.Now()
+	err := fn()
+	rec.NsPerOp = time.Since(start).Nanoseconds()
+	currentRecord = nil
+	runtime.ReadMemStats(&after)
+	rec.AllocsOp = after.Mallocs - before.Mallocs
+	rec.BytesOp = after.TotalAlloc - before.TotalAlloc
+	if err == nil {
+		benchRecords = append(benchRecords, rec)
+	}
+	return err
+}
+
+func writeBenchJSON(path string) error {
+	payload := struct {
+		GoVersion   string        `json:"go_version"`
+		GOMAXPROCS  int           `json:"gomaxprocs"`
+		Workers     int           `json:"workers"`
+		Experiments []benchRecord `json:"experiments"`
+	}{
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     parallel.Workers(),
+		Experiments: benchRecords,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // csvInto, when non-empty, is the directory figure CSVs are written
@@ -113,7 +193,7 @@ func run(exp string, seed int64, days, invocations, queries int) error {
 			"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "corpus",
 			"attacks", "robustness", "sensitivity",
 		} {
-			if err := experiments[name](); err != nil {
+			if err := timed(name, experiments[name]); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 			fmt.Println()
@@ -124,7 +204,7 @@ func run(exp string, seed int64, days, invocations, queries int) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
-	return fn()
+	return timed(exp, fn)
 }
 
 func twoPhones() []scenario.DeviceSpec {
@@ -140,29 +220,45 @@ func watchOnly() []scenario.DeviceSpec {
 
 func table1(invocations int, seed int64) error {
 	res := scenario.TrafficRecognition(invocations, seed)
+	recordMetric("pct_accuracy", 100*res.Confusion.Accuracy())
+	recordMetric("pct_precision", 100*res.Confusion.Precision())
+	recordMetric("pct_recall", 100*res.Confusion.Recall())
 	fmt.Print(report.Table1(res))
 	return nil
 }
 
-// rssiTable runs the four columns of one of Tables II-IV.
+// rssiTable runs the four columns of one of Tables II-IV. The columns
+// are independent seeded runs sharing only the (read-safe) plan, so
+// they fan out across the parallel worker pool; column order and
+// values match the original serial loop.
 func rssiTable(title string, plan *floorplan.Plan, devices []scenario.DeviceSpec, days int, seed int64) error {
-	var columns []*scenario.Outcome
-	for _, speaker := range []scenario.SpeakerKind{scenario.Echo, scenario.GHM} {
-		for _, spot := range []string{"A", "B"} {
-			out, err := scenario.Run(scenario.Config{
-				Plan:    plan,
-				Spot:    spot,
-				Speaker: speaker,
-				Devices: devices,
-				Days:    days,
-				Seed:    seed,
-			})
-			if err != nil {
-				return err
-			}
-			columns = append(columns, out)
-		}
+	cols := []struct {
+		speaker scenario.SpeakerKind
+		spot    string
+	}{
+		{scenario.Echo, "A"}, {scenario.Echo, "B"},
+		{scenario.GHM, "A"}, {scenario.GHM, "B"},
 	}
+	columns, err := parallel.MapErr(len(cols), func(i int) (*scenario.Outcome, error) {
+		return scenario.Run(scenario.Config{
+			Plan:    plan,
+			Spot:    cols[i].spot,
+			Speaker: cols[i].speaker,
+			Devices: devices,
+			Days:    days,
+			Seed:    seed,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	var overall stats.Confusion
+	for _, out := range columns {
+		overall.Merge(out.Confusion)
+	}
+	recordMetric("pct_accuracy", 100*overall.Accuracy())
+	recordMetric("pct_precision", 100*overall.Precision())
+	recordMetric("pct_recall", 100*overall.Recall())
 	fmt.Print(report.RSSITable(title, columns))
 	return nil
 }
@@ -182,19 +278,19 @@ func fig4() error {
 }
 
 func fig67(seed int64, queries int, caseSplit bool) error {
-	echo, err := scenario.QueryDelayStudy(scenario.Echo, queries, seed)
+	studies, err := scenario.QueryDelayStudies([]scenario.SpeakerKind{scenario.Echo, scenario.GHM}, queries, seed)
 	if err != nil {
 		return err
 	}
-	ghm, err := scenario.QueryDelayStudy(scenario.GHM, queries, seed)
-	if err != nil {
-		return err
-	}
+	echo, ghm := studies[0], studies[1]
+	recordMetric("pct_echo_under2s", 100*echo.Under2s)
+	recordMetric("pct_ghm_under2s", 100*ghm.Under2s)
+	recordMetric("pct_no_delay", 100*float64(echo.CaseA)/float64(echo.CaseA+echo.CaseB))
 	if caseSplit {
-		fmt.Print(report.Fig6([]*scenario.DelayStudy{echo, ghm}))
+		fmt.Print(report.Fig6(studies))
 		return nil
 	}
-	fmt.Print(report.Fig7([]*scenario.DelayStudy{echo, ghm}))
+	fmt.Print(report.Fig7(studies))
 	if err := writeCSV("fig7_echo.csv", func(w *os.File) error { return report.WriteDelayCSV(w, echo) }); err != nil {
 		return err
 	}
@@ -236,6 +332,11 @@ func fig10(seed int64) error {
 	if err != nil {
 		return err
 	}
+	var acc float64
+	for _, study := range studies {
+		acc += study.Accuracy
+	}
+	recordMetric("pct_accuracy", 100*acc/float64(len(studies)))
 	fmt.Print(report.Fig10(studies))
 	for i, study := range studies {
 		name := fmt.Sprintf("fig10_case%d.csv", i+1)
@@ -279,18 +380,16 @@ func sensitivity(days int, seed int64) error {
 }
 
 func corpusAnalysis(seed int64, queries int) error {
-	echo, err := scenario.QueryDelayStudy(scenario.Echo, queries, seed)
+	studies, err := scenario.QueryDelayStudies([]scenario.SpeakerKind{scenario.Echo, scenario.GHM}, queries, seed)
 	if err != nil {
 		return err
 	}
-	ghm, err := scenario.QueryDelayStudy(scenario.GHM, queries, seed)
-	if err != nil {
-		return err
-	}
+	echo, ghm := studies[0], studies[1]
 	analyses := []scenario.CorpusAnalysis{
 		scenario.AnalyzeCorpus(corpus.Alexa(), time.Duration(echo.Summary.Mean*float64(time.Second))),
 		scenario.AnalyzeCorpus(corpus.Google(), time.Duration(ghm.Summary.Mean*float64(time.Second))),
 	}
+	recordMetric("pct_no_delay", 100*analyses[0].NoDelayAtMean)
 	fmt.Print(report.CorpusTable(analyses))
 	return nil
 }

@@ -1,0 +1,108 @@
+package floorplan
+
+import (
+	"math"
+	"sync"
+)
+
+// Wall-loss memoization. WallLoss sits on the hottest path of the
+// whole reproduction — every radio.Model.Mean call (so every BLE
+// sample of every trial of every study) walks the plan's wall list
+// and runs a segment-intersection test per wall. The link geometry
+// repeats constantly (speakers are fixed, owners dwell at a finite
+// set of measurement locations), so the answer is memoized per exact
+// (a, b) position pair. Exact keys keep the memo bit-identical to the
+// direct computation; quantizing positions here would change RSSI
+// values and break the seeded experiment record.
+//
+// The cache is sharded for concurrent readers: the parallel scenario
+// harness runs many trials against one shared *Plan.
+
+// wallShards is the number of independently locked cache shards. A
+// power of two so shard selection is a mask.
+const wallShards = 32
+
+// wallShardCap bounds entries per shard. Walking traces sample fresh
+// positions every tick, so a long simulation could otherwise grow the
+// memo without limit; once a shard is full, further misses compute
+// without inserting (correctness is unaffected).
+const wallShardCap = 8192
+
+// wallKey identifies an ordered position pair. Positions are finite
+// (never NaN), so float equality is exact map-key equality.
+type wallKey struct {
+	aFloor, bFloor int
+	ax, ay, bx, by float64
+}
+
+// wallVal is a memoized WallLoss result.
+type wallVal struct {
+	loss      float64
+	crossings int
+}
+
+type wallShard struct {
+	mu sync.RWMutex
+	m  map[wallKey]wallVal
+}
+
+// wallCache is the per-plan memo. Its zero value is ready to use, so
+// hand-built Plan literals (tests, FromJSON) get caching without an
+// initialization hook.
+type wallCache struct {
+	shards [wallShards]wallShard
+}
+
+// mix64 is a splitmix64-style finalizer used to spread keys across
+// shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardFor picks the shard for a key.
+func (c *wallCache) shardFor(k wallKey) *wallShard {
+	h := uint64(k.aFloor)*0x9e3779b97f4a7c15 + uint64(k.bFloor)
+	h = mix64(h ^ math.Float64bits(k.ax))
+	h = mix64(h ^ math.Float64bits(k.ay))
+	h = mix64(h ^ math.Float64bits(k.bx))
+	h = mix64(h ^ math.Float64bits(k.by))
+	return &c.shards[h&(wallShards-1)]
+}
+
+// get returns the memoized value for k.
+func (c *wallCache) get(k wallKey) (wallVal, bool) {
+	s := c.shardFor(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// put inserts a computed value, unless the shard is at capacity.
+func (c *wallCache) put(k wallKey, v wallVal) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[wallKey]wallVal)
+	}
+	if len(s.m) < wallShardCap {
+		s.m[k] = v
+	}
+	s.mu.Unlock()
+}
+
+// len reports the total number of memoized pairs (for tests).
+func (c *wallCache) len() int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		total += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package floorplan
+
+import (
+	"sync"
+	"testing"
+
+	"voiceguard/internal/geom"
+)
+
+// TestWallLossMemoIdenticalToUncached checks every spot-to-location
+// pair on every testbed: memoized (second call) and direct answers
+// must match exactly.
+func TestWallLossMemoIdenticalToUncached(t *testing.T) {
+	for _, plan := range []*Plan{House(), Apartment(), Office()} {
+		for _, spot := range plan.Spots {
+			for _, l := range plan.Locations {
+				wantLoss, wantN := plan.wallLossUncached(spot.Pos, l.Pos)
+				for pass := 0; pass < 2; pass++ {
+					gotLoss, gotN := plan.WallLoss(spot.Pos, l.Pos)
+					if gotLoss != wantLoss || gotN != wantN {
+						t.Fatalf("%s %s->loc%d pass %d: (%v,%d) != (%v,%d)",
+							plan.Name, spot.Name, l.ID, pass, gotLoss, gotN, wantLoss, wantN)
+					}
+				}
+			}
+		}
+		if plan.wallLosses.len() == 0 {
+			t.Fatalf("%s: wall-loss memo never populated", plan.Name)
+		}
+	}
+}
+
+// TestWallLossMemoConcurrent hammers one plan from many goroutines
+// (run under -race in CI).
+func TestWallLossMemoConcurrent(t *testing.T) {
+	plan := House()
+	spot, _ := plan.Spot("A")
+	serialLoss := make([]float64, len(plan.Locations))
+	serialN := make([]int, len(plan.Locations))
+	for i, l := range plan.Locations {
+		serialLoss[i], serialN[i] = plan.wallLossUncached(spot.Pos, l.Pos)
+	}
+
+	fresh := House()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, l := range fresh.Locations {
+				loss, n := fresh.WallLoss(spot.Pos, l.Pos)
+				if loss != serialLoss[i] || n != serialN[i] {
+					select {
+					case errs <- l.Room:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case room := <-errs:
+		t.Fatalf("concurrent WallLoss diverged in room %q", room)
+	default:
+	}
+}
+
+// TestWallCacheCapStopsInsertionNotCorrectness drives one shard past
+// its capacity and checks answers stay right while growth stops.
+func TestWallCacheCapStopsInsertionNotCorrectness(t *testing.T) {
+	plan := House()
+	a := Position{Floor: 0, At: geom.Point{X: 1, Y: 1}}
+	// Far more distinct receiver positions than the total cap.
+	total := wallShards*wallShardCap + 500
+	for i := 0; i < total; i++ {
+		b := Position{Floor: 0, At: geom.Point{X: 1 + float64(i)*1e-7, Y: 2}}
+		gotLoss, gotN := plan.WallLoss(a, b)
+		wantLoss, wantN := plan.wallLossUncached(a, b)
+		if gotLoss != wantLoss || gotN != wantN {
+			t.Fatalf("i=%d: (%v,%d) != (%v,%d)", i, gotLoss, gotN, wantLoss, wantN)
+		}
+	}
+	if n := plan.wallLosses.len(); n > wallShards*wallShardCap {
+		t.Fatalf("memo grew past its cap: %d entries", n)
+	}
+}
+
+func BenchmarkWallLossMemoized(b *testing.B) {
+	plan := House()
+	spot, _ := plan.Spot("A")
+	loc := plan.MustLocation(55)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.WallLoss(spot.Pos, loc.Pos)
+	}
+}
+
+func BenchmarkWallLossUncached(b *testing.B) {
+	plan := House()
+	spot, _ := plan.Spot("A")
+	loc := plan.MustLocation(55)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.wallLossUncached(spot.Pos, loc.Pos)
+	}
+}

@@ -125,6 +125,11 @@ type Plan struct {
 	Routes    map[string]Route
 
 	byID map[int]Location
+
+	// wallLosses memoizes WallLoss per exact position pair; see
+	// cache.go. Guarded for concurrent readers, so one plan can be
+	// shared across parallel trials.
+	wallLosses wallCache
 }
 
 // Location returns the measurement location with the given 1-based ID.
@@ -210,7 +215,26 @@ func (p *Plan) LocationsInRoom(name string) []int {
 // number of walls crossed. For positions on different floors it uses
 // the horizontal projection on the lower floor; the radio model
 // combines this with the floor penetration loss.
+//
+// Results are memoized per exact position pair and safe for
+// concurrent callers; the memo never changes a returned value, only
+// how fast it comes back.
 func (p *Plan) WallLoss(a, b Position) (loss float64, crossings int) {
+	key := wallKey{
+		aFloor: a.Floor, bFloor: b.Floor,
+		ax: a.At.X, ay: a.At.Y, bx: b.At.X, by: b.At.Y,
+	}
+	if v, ok := p.wallLosses.get(key); ok {
+		return v.loss, v.crossings
+	}
+	loss, crossings = p.wallLossUncached(a, b)
+	p.wallLosses.put(key, wallVal{loss: loss, crossings: crossings})
+	return loss, crossings
+}
+
+// wallLossUncached is the direct geometric computation behind
+// WallLoss.
+func (p *Plan) wallLossUncached(a, b Position) (loss float64, crossings int) {
 	floor := a.Floor
 	if b.Floor < floor {
 		floor = b.Floor

@@ -1,0 +1,116 @@
+// Package parallel is the scenario harness's worker pool: an
+// order-preserving fan-out over independent trials.
+//
+// Every study in the reproduction runs many trials that each own
+// their seed (a split rng.Source), so trials never share mutable
+// state and can execute on any worker in any order. The helpers here
+// preserve the *result* order regardless of execution order, which
+// makes a parallel run byte-identical to a serial one — the property
+// the scenario determinism tests assert.
+//
+// What is safe to share across workers: *radio.Model and
+// *floorplan.Plan (their caches are guarded for concurrent readers),
+// immutable configs, and plain values. What is not: *rng.Source,
+// *ble.Scanner, guard/simtime state — each trial must split or build
+// its own.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workersOverride, when positive, pins the pool size regardless of
+// GOMAXPROCS. Tests use it to force serial (1) and oversubscribed
+// runs and assert identical outcomes.
+var workersOverride atomic.Int64
+
+// Workers returns the number of workers a fan-out will use: the
+// SetWorkers override when set, otherwise GOMAXPROCS.
+func Workers() int {
+	if n := workersOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool size and returns the previous
+// override (0 when none was set). SetWorkers(0) restores the
+// GOMAXPROCS default. It is safe for concurrent use, but is intended
+// for test setup, not mid-fan-out tuning.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workersOverride.Swap(int64(n)))
+}
+
+// Map runs worker(i) for i in [0, n) across the pool and returns the
+// results in index order. With one worker (or n <= 1) it degenerates
+// to a plain loop — no goroutines, no synchronization — so the serial
+// path costs nothing over a hand-written loop.
+func Map[T any](n int, worker func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	Do(n, func(i int) { out[i] = worker(i) })
+	return out
+}
+
+// MapErr is Map for workers that can fail. All n workers run to
+// completion even after a failure (trials are independent, and
+// stopping early would make the set of executed trials depend on
+// scheduling); the returned error is the lowest-index one, so serial
+// and parallel runs report the same failure.
+func MapErr[T any](n int, worker func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	Do(n, func(i int) { out[i], errs[i] = worker(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Do runs worker(i) for i in [0, n), fanning across min(Workers(), n)
+// goroutines. It returns when every call has finished. Panics in
+// workers are not recovered: a panicking trial is a programming
+// error, and hiding it behind a worker pool would truncate the trace.
+func Do(n int, worker func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			worker(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				worker(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn under a pinned pool size.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	fn()
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		withWorkers(t, workers, func() {
+			got := Map(100, func(i int) int { return i * i })
+			if len(got) != 100 {
+				t.Fatalf("workers=%d: len = %d", workers, len(got))
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapSerialAndParallelIdentical(t *testing.T) {
+	job := func(i int) string { return fmt.Sprintf("trial-%d", i*3) }
+	var serial []string
+	withWorkers(t, 1, func() { serial = Map(50, job) })
+	var par []string
+	withWorkers(t, 8, func() { par = Map(50, job) })
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("index %d: serial %q != parallel %q", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(0) = %v, want nil", got)
+	}
+	if got, err := MapErr(-1, func(i int) (int, error) { return i, nil }); got != nil || err != nil {
+		t.Fatalf("MapErr(-1) = %v, %v", got, err)
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		withWorkers(t, workers, func() {
+			_, err := MapErr(20, func(i int) (int, error) {
+				switch i {
+				case 7:
+					return 0, errB
+				case 3:
+					return 0, errA
+				}
+				return i, nil
+			})
+			if !errors.Is(err, errA) {
+				t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errA)
+			}
+		})
+	}
+}
+
+func TestMapErrSuccess(t *testing.T) {
+	withWorkers(t, 4, func() {
+		got, err := MapErr(10, func(i int) (int, error) { return i + 1, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("got[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+func TestMapErrRunsAllWorkersDespiteFailure(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		withWorkers(t, workers, func() {
+			var ran atomic.Int64
+			_, err := MapErr(30, func(i int) (int, error) {
+				ran.Add(1)
+				if i == 0 {
+					return 0, errors.New("first trial fails")
+				}
+				return i, nil
+			})
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if ran.Load() != 30 {
+				t.Fatalf("workers=%d: ran %d of 30 trials", workers, ran.Load())
+			}
+		})
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	withWorkers(t, 16, func() {
+		counts := make([]atomic.Int64, 500)
+		Do(500, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("index %d ran %d times", i, counts[i].Load())
+			}
+		}
+	})
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	if got := SetWorkers(5); got != 3 {
+		t.Fatalf("SetWorkers returned %d, want previous 3", got)
+	}
+	if got := SetWorkers(-2); got != 5 {
+		t.Fatalf("SetWorkers(-2) returned %d, want 5", got)
+	}
+	if Workers() < 1 {
+		t.Fatal("negative override must restore default")
+	}
+}

@@ -50,6 +50,29 @@ var ErrQueueOverflow = errors.New("proxy: hold queue overflow")
 // DefaultMaxHoldBytes bounds the bytes buffered during one hold.
 const DefaultMaxHoldBytes = 4 << 20
 
+// readBufSize is the per-direction read buffer size. It also caps a
+// single chunk, so every hold-queue copy fits one pooled buffer.
+const readBufSize = 32 << 10
+
+// bufPool recycles the read and hold buffers across sessions and
+// holds. All buffers have readBufSize capacity; users re-slice to the
+// length they need. Pooling keeps the steady-state pass-through path
+// allocation-free: the only copies left are the ones a hold must make
+// to own bytes beyond the read loop's next iteration.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, readBufSize)
+		return &b
+	},
+}
+
+// putChunk returns a pooled chunk (re-sliced to any length) to the
+// pool at full capacity.
+func putChunk(c []byte) {
+	b := c[:cap(c)]
+	bufPool.Put(&b)
+}
+
 // DialFunc opens the upstream (cloud-side) connection for a new
 // client session.
 type DialFunc func(ctx context.Context) (net.Conn, error)
@@ -310,19 +333,28 @@ func (s *Session) Release() error {
 	wasHolding, flushed := s.holding, s.queued
 	for _, chunk := range s.queue {
 		if _, err := s.server.Write(chunk); err != nil {
-			s.queue = nil
-			s.queued = 0
-			s.holding = false
+			s.recycleQueueLocked()
 			return fmt.Errorf("proxy: release: %w", err)
 		}
 	}
-	s.queue = nil
-	s.queued = 0
-	s.holding = false
+	s.recycleQueueLocked()
 	if wasHolding {
 		s.traceHoldLocked(trace.OutcomeRelease, flushed)
 	}
 	return nil
+}
+
+// recycleQueueLocked returns every queued chunk to the buffer pool
+// (net.Conn.Write does not retain the slices it is given) and resets
+// the hold state, keeping the queue's backing array for the session's
+// next hold. Callers hold s.mu.
+func (s *Session) recycleQueueLocked() {
+	for _, chunk := range s.queue {
+		putChunk(chunk)
+	}
+	s.queue = s.queue[:0]
+	s.queued = 0
+	s.holding = false
 }
 
 // Drop ends the hold, discarding the queued bytes. Fig. 4 case III:
@@ -337,9 +369,7 @@ func (s *Session) Drop() int {
 	n := s.queued
 	s.dropped += n
 	wasHolding := s.holding
-	s.queue = nil
-	s.queued = 0
-	s.holding = false
+	s.recycleQueueLocked()
 	if wasHolding {
 		s.traceHoldLocked(trace.OutcomeDrop, n)
 	}
@@ -348,18 +378,26 @@ func (s *Session) Drop() int {
 
 // clientToServer pumps speaker bytes upstream, diverting them into
 // the hold queue while a hold is active.
+//
+// The pass-through path is zero-copy and allocation-free: the tap
+// observes the read buffer directly (its contract already says the
+// slice is only valid for the duration of the call), and forward
+// writes that same slice upstream. Bytes are copied only when a hold
+// must own them past this read iteration, and that copy lands in a
+// pooled buffer.
 func (s *Session) clientToServer(tap Tap) {
 	defer s.closeConns()
-	buf := make([]byte, 32<<10)
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf := *bp
 	for {
 		n, err := s.client.Read(buf)
 		if n > 0 {
 			mBytesIn.Add(int64(n))
-			chunk := append([]byte(nil), buf[:n]...)
 			if tap != nil {
-				tap(s, chunk)
+				tap(s, buf[:n])
 			}
-			if werr := s.forward(chunk); werr != nil {
+			if werr := s.forward(buf[:n]); werr != nil {
 				return
 			}
 		}
@@ -369,7 +407,9 @@ func (s *Session) clientToServer(tap Tap) {
 	}
 }
 
-// forward writes the chunk upstream or queues it under a hold.
+// forward writes the chunk upstream, or copies it into a pooled
+// buffer on the hold queue while a hold is active. The caller keeps
+// ownership of chunk either way.
 func (s *Session) forward(chunk []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -378,7 +418,10 @@ func (s *Session) forward(chunk []byte) error {
 			mQueueOverflows.Inc()
 			return ErrQueueOverflow
 		}
-		s.queue = append(s.queue, chunk)
+		hp := bufPool.Get().(*[]byte)
+		held := (*hp)[:len(chunk)]
+		copy(held, chunk)
+		s.queue = append(s.queue, held)
 		s.queued += len(chunk)
 		s.heldTotal += len(chunk)
 		mHoldQueueBytes.Add(int64(len(chunk)))
@@ -388,10 +431,13 @@ func (s *Session) forward(chunk []byte) error {
 	return err
 }
 
-// serverToClient pumps cloud bytes back to the speaker unmodified.
+// serverToClient pumps cloud bytes back to the speaker unmodified
+// through a pooled buffer.
 func (s *Session) serverToClient() {
 	defer s.closeConns()
-	buf := make([]byte, 32<<10)
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf := *bp
 	for {
 		n, err := s.server.Read(buf)
 		if n > 0 {
@@ -412,12 +458,12 @@ func (s *Session) closeConns() {
 		_ = s.client.Close()
 		_ = s.server.Close()
 		// A session that dies mid-hold never releases or drops its
-		// queue; take those bytes back out of the depth gauge.
+		// queue; take those bytes back out of the depth gauge and
+		// recycle the copies.
 		s.mu.Lock()
 		mHoldQueueBytes.Add(-int64(s.queued))
+		s.recycleQueueLocked()
 		s.queue = nil
-		s.queued = 0
-		s.holding = false
 		s.mu.Unlock()
 		close(s.done)
 	})

@@ -1,0 +1,95 @@
+package radio
+
+import (
+	"math"
+	"sync"
+)
+
+// Shadow-field memoization. The static shadowing of a link is a pure
+// function of the model seed, the transmitter position, and the
+// receiver's 0.5 m grid cell — but the original derivation builds a
+// fmt.Sprintf key and splits a fresh RNG stream on every call, which
+// dominated Mean/Sample profiles. The memo computes that derivation
+// once per (tx, rx-cell) and serves repeats from a sharded map.
+//
+// Cache hits are bit-identical to the direct derivation: misses still
+// run the original string-keyed Split, so the value stored for a cell
+// is exactly the value the uncached model would return, and two tx
+// positions that collide under the original "%.1f" key formatting
+// compute the same string and therefore the same value.
+//
+// Unlike the wall-loss memo, the key space here is naturally bounded:
+// receivers are quantized to grid cells and transmitters are fixed
+// deployment spots, so no capacity bound is needed.
+
+// shadowShards is a power of two so shard selection is a mask.
+const shadowShards = 32
+
+// shadowKey identifies a (transmitter, receiver-cell) link. The
+// transmitter keeps full float precision (finer than the derivation's
+// "%.1f" formatting, which only means two near-identical tx positions
+// may memoize the same value twice — never a different value).
+type shadowKey struct {
+	txFloor  int
+	txX, txY float64
+	rxFloor  int
+	cx, cy   int
+}
+
+type shadowShard struct {
+	mu sync.RWMutex
+	m  map[shadowKey]float64
+}
+
+// shadowCache is the per-model memo; the zero value is ready to use.
+type shadowCache struct {
+	shards [shadowShards]shadowShard
+}
+
+// shadowMix is a splitmix64-style finalizer spreading keys across
+// shards.
+func shadowMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *shadowCache) shardFor(k shadowKey) *shadowShard {
+	h := uint64(k.txFloor)*0x9e3779b97f4a7c15 + uint64(k.rxFloor)
+	h = shadowMix(h ^ math.Float64bits(k.txX))
+	h = shadowMix(h ^ math.Float64bits(k.txY))
+	h = shadowMix(h ^ uint64(k.cx)<<32 ^ uint64(uint32(k.cy)))
+	return &c.shards[h&(shadowShards-1)]
+}
+
+func (c *shadowCache) get(k shadowKey) (float64, bool) {
+	s := c.shardFor(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *shadowCache) put(k shadowKey, v float64) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[shadowKey]float64)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// len reports the number of memoized cells (for tests).
+func (c *shadowCache) len() int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		total += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return total
+}

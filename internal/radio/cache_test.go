@@ -1,0 +1,139 @@
+package radio
+
+import (
+	"sync"
+	"testing"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/rng"
+)
+
+// TestShadowCacheBitIdenticalToUncached is the layer-1 determinism
+// gate: for every link on every testbed, the memoized Mean must equal
+// the original per-call derivation exactly — on the first (miss) pass
+// and on the second (hit) pass.
+func TestShadowCacheBitIdenticalToUncached(t *testing.T) {
+	for _, plan := range []*floorplan.Plan{floorplan.House(), floorplan.Apartment(), floorplan.Office()} {
+		model := NewModel(plan, DefaultParams(), 7)
+		spot, _ := plan.Spot("A")
+		for pass := 0; pass < 2; pass++ {
+			for _, l := range plan.Locations {
+				want := model.PathRSSI(spot.Pos, l.Pos) + model.shadowAtUncached(spot.Pos, l.Pos)
+				if got := model.Mean(spot.Pos, l.Pos); got != want {
+					t.Fatalf("%s loc %d pass %d: cached Mean = %v, uncached = %v",
+						plan.Name, l.ID, pass, got, want)
+				}
+			}
+		}
+		if model.shadows.len() == 0 {
+			t.Fatalf("%s: shadow cache never populated", plan.Name)
+		}
+	}
+}
+
+// TestSampleStreamUnchangedByWarmCache asserts a cold model and a
+// cache-warmed model with the same seed produce identical Sample
+// streams: memoization must not perturb any RNG stream.
+func TestSampleStreamUnchangedByWarmCache(t *testing.T) {
+	plan := floorplan.House()
+	cold := NewModel(plan, DefaultParams(), 3)
+	warm := NewModel(plan, DefaultParams(), 3)
+	spot, _ := plan.Spot("A")
+
+	// Warm every link cell on one model only.
+	for _, l := range plan.Locations {
+		warm.Mean(spot.Pos, l.Pos)
+	}
+
+	srcCold := rng.New(99)
+	srcWarm := rng.New(99)
+	for _, l := range plan.Locations {
+		for i := 0; i < 4; i++ {
+			c := cold.Sample(spot.Pos, l.Pos, Pixel5, srcCold)
+			w := warm.Sample(spot.Pos, l.Pos, Pixel5, srcWarm)
+			if c != w {
+				t.Fatalf("loc %d draw %d: cold %v != warm %v", l.ID, i, c, w)
+			}
+		}
+	}
+}
+
+// TestShadowCacheConcurrentReaders hammers one model from many
+// goroutines (run under -race in CI) and checks the concurrent
+// answers match a serial pass.
+func TestShadowCacheConcurrentReaders(t *testing.T) {
+	plan := floorplan.House()
+	model := NewModel(plan, DefaultParams(), 11)
+	spot, _ := plan.Spot("B")
+
+	serial := make([]float64, len(plan.Locations))
+	for i, l := range plan.Locations {
+		serial[i] = model.Mean(spot.Pos, l.Pos)
+	}
+
+	fresh := NewModel(plan, DefaultParams(), 11)
+	const goroutines = 8
+	results := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			out := make([]float64, len(plan.Locations))
+			for i, l := range plan.Locations {
+				out[i] = fresh.Mean(spot.Pos, l.Pos)
+			}
+			results[g] = out
+		}()
+	}
+	wg.Wait()
+	for g, out := range results {
+		for i := range out {
+			if out[i] != serial[i] {
+				t.Fatalf("goroutine %d loc index %d: %v != serial %v", g, i, out[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestZeroShadowSigmaSkipsCache keeps the no-shadowing fast path
+// intact.
+func TestZeroShadowSigmaSkipsCache(t *testing.T) {
+	plan := floorplan.House()
+	params := DefaultParams()
+	params.ShadowSigma = 0
+	model := NewModel(plan, params, 1)
+	spot, _ := plan.Spot("A")
+	loc := plan.MustLocation(10)
+	if model.Mean(spot.Pos, loc.Pos) != model.PathRSSI(spot.Pos, loc.Pos) {
+		t.Fatal("Mean != PathRSSI with zero shadowing")
+	}
+	if model.shadows.len() != 0 {
+		t.Fatal("cache populated despite ShadowSigma == 0")
+	}
+}
+
+func BenchmarkShadowAtCached(b *testing.B) {
+	plan := floorplan.House()
+	model := NewModel(plan, DefaultParams(), 1)
+	spot, _ := plan.Spot("A")
+	loc := plan.MustLocation(55)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.shadowAt(spot.Pos, loc.Pos)
+	}
+}
+
+func BenchmarkShadowAtUncached(b *testing.B) {
+	plan := floorplan.House()
+	model := NewModel(plan, DefaultParams(), 1)
+	spot, _ := plan.Spot("A")
+	loc := plan.MustLocation(55)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.shadowAtUncached(spot.Pos, loc.Pos)
+	}
+}

@@ -74,10 +74,18 @@ var (
 )
 
 // Model computes RSSI between positions on a floor plan.
+//
+// A Model is safe for concurrent use: the shadow-field memo is
+// guarded for concurrent readers, so one model can back many parallel
+// trials. The rng.Source arguments of Sample/SampleN/AverageAt are
+// NOT safe to share — each concurrent caller must bring its own
+// split stream.
 type Model struct {
 	plan   *floorplan.Plan
 	params Params
 	shadow *rng.Source
+
+	shadows shadowCache
 }
 
 // NewModel returns a propagation model for the plan. The seed fixes
@@ -144,11 +152,30 @@ func (m *Model) Mean(tx, rx floorplan.Position) float64 {
 // shadowAt returns the static shadowing (dB) for the link, keyed by
 // the transmitter position and the receiver's 0.5 m grid cell so that
 // nearby receiver positions share a shadow value (spatial coherence
-// for walking traces).
+// for walking traces). Values are memoized per (tx, rx-cell); hits
+// are bit-identical to the uncached derivation (see cache.go).
 func (m *Model) shadowAt(tx, rx floorplan.Position) float64 {
 	if m.params.ShadowSigma == 0 {
 		return 0
 	}
+	key := shadowKey{
+		txFloor: tx.Floor, txX: tx.At.X, txY: tx.At.Y,
+		rxFloor: rx.Floor,
+		cx:      int(math.Floor(rx.At.X * 2)),
+		cy:      int(math.Floor(rx.At.Y * 2)),
+	}
+	if v, ok := m.shadows.get(key); ok {
+		return v
+	}
+	v := m.shadowAtUncached(tx, rx)
+	m.shadows.put(key, v)
+	return v
+}
+
+// shadowAtUncached is the original per-call derivation: a string key
+// over the quantized link, hashed into a fresh split of the model's
+// shadow stream. It remains the source of truth the memo serves.
+func (m *Model) shadowAtUncached(tx, rx floorplan.Position) float64 {
 	key := fmt.Sprintf("%d:%.1f:%.1f|%d:%d:%d",
 		tx.Floor, tx.At.X, tx.At.Y,
 		rx.Floor, int(math.Floor(rx.At.X*2)), int(math.Floor(rx.At.Y*2)))

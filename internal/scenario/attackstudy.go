@@ -3,6 +3,7 @@ package scenario
 import (
 	"voiceguard/internal/attack"
 	"voiceguard/internal/floorplan"
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/radio"
 )
 
@@ -29,9 +30,12 @@ func (v VectorOutcome) BlockRate() float64 {
 // believes it hears) a command, which is precisely why the
 // traffic-level defence is audio-agnostic: the per-vector block rates
 // should be statistically indistinguishable.
+// Each vector runs as an independent experiment with its own seed, so
+// the vectors fan out across the parallel worker pool with outcomes
+// identical to a serial sweep.
 func AttackVectorStudy(perVector int, seed int64) ([]VectorOutcome, error) {
-	out := make([]VectorOutcome, 0, len(attack.Catalog()))
-	for i, profile := range attack.Catalog() {
+	catalog := attack.Catalog()
+	return parallel.MapErr(len(catalog), func(i int) (VectorOutcome, error) {
 		res, err := Run(Config{
 			Plan:    floorplan.House(),
 			Spot:    "A",
@@ -46,9 +50,9 @@ func AttackVectorStudy(perVector int, seed int64) ([]VectorOutcome, error) {
 			Seed:         seed + int64(i)*1000,
 		})
 		if err != nil {
-			return nil, err
+			return VectorOutcome{}, err
 		}
-		vo := VectorOutcome{Profile: profile}
+		vo := VectorOutcome{Profile: catalog[i]}
 		for _, r := range res.Records {
 			if !r.Malicious || vo.Attacks >= perVector {
 				continue
@@ -58,7 +62,6 @@ func AttackVectorStudy(perVector int, seed int64) ([]VectorOutcome, error) {
 				vo.Blocked++
 			}
 		}
-		out = append(out, vo)
-	}
-	return out, nil
+		return vo, nil
+	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"voiceguard/internal/corpus"
 	"voiceguard/internal/floorplan"
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/rng"
 	"voiceguard/internal/stats"
@@ -71,6 +72,16 @@ func QueryDelayStudy(speaker SpeakerKind, n int, seed int64) (*DelayStudy, error
 	study.Summary = stats.Summarize(study.Verification)
 	study.Under2s = stats.FractionBelow(study.Verification, 2.0)
 	return study, nil
+}
+
+// QueryDelayStudies runs one delay study per speaker. A study is one
+// self-contained multi-day simulation, so the speakers fan out across
+// the parallel worker pool; each returned study is identical to a
+// serial QueryDelayStudy call with the same arguments.
+func QueryDelayStudies(speakers []SpeakerKind, n int, seed int64) ([]*DelayStudy, error) {
+	return parallel.MapErr(len(speakers), func(i int) (*DelayStudy, error) {
+		return QueryDelayStudy(speakers[i], n, seed)
+	})
 }
 
 // CorpusAnalysis is the §V-A2 in-text experiment: command-length

@@ -5,6 +5,7 @@ import (
 
 	"voiceguard/internal/ble"
 	"voiceguard/internal/floorplan"
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/rng"
 )
@@ -20,6 +21,10 @@ type RSSIMapEntry struct {
 // RSSIMap reproduces the per-location measurement protocol of
 // Figures 8 and 9: at every numbered location, measure the speaker's
 // Bluetooth RSSI four times in each of four orientations and average.
+//
+// Each location's 16 measurements draw from its own split stream, so
+// the locations fan out across the parallel worker pool; the entry
+// order and every value are identical to a serial sweep.
 func RSSIMap(plan *floorplan.Plan, spotName string, dev radio.Device, seed int64) ([]RSSIMapEntry, error) {
 	spot, ok := plan.Spot(spotName)
 	if !ok {
@@ -28,18 +33,16 @@ func RSSIMap(plan *floorplan.Plan, spotName string, dev radio.Device, seed int64
 	model := radio.NewModel(plan, radio.DefaultParams(), seed)
 	root := rng.New(seed)
 
-	entries := make([]RSSIMapEntry, 0, len(plan.Locations))
-	for _, l := range plan.Locations {
+	return parallel.Map(len(plan.Locations), func(i int) RSSIMapEntry {
+		l := plan.Locations[i]
 		src := root.SplitN("loc", l.ID)
-		avg := model.AverageAt(spot.Pos, l.Pos, dev, src)
-		entries = append(entries, RSSIMapEntry{
+		return RSSIMapEntry{
 			ID:    l.ID,
 			Room:  l.Room,
 			Floor: l.Pos.Floor,
-			RSSI:  avg,
-		})
-	}
-	return entries, nil
+			RSSI:  model.AverageAt(spot.Pos, l.Pos, dev, src),
+		}
+	}), nil
 }
 
 // MapThreshold runs the calibration app on the map's plan/spot and

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"voiceguard/internal/guard"
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/pcap"
 	"voiceguard/internal/rng"
 	"voiceguard/internal/stats"
@@ -48,16 +49,26 @@ func RunMulti(cfg Config) (*MultiOutcome, error) {
 	// packet stream must reach the right recognizer. Build both runs'
 	// guards against one simulated clock and one owner population by
 	// running spot A's infrastructure and attaching a second guard.
-	echoRun, err := newRunForMulti(cfg, "A", Echo)
-	if err != nil {
-		return nil, err
-	}
+	// Setup (calibration walks, classifier training) is the expensive
+	// part and the two runs take distinct seeds, so they initialise on
+	// the worker pool.
 	ghmCfg := cfg
 	ghmCfg.Seed = cfg.Seed + 5000
-	ghmRun, err := newRunForMulti(ghmCfg, "B", GHM)
+	setups := []struct {
+		cfg     Config
+		spot    string
+		speaker SpeakerKind
+	}{
+		{cfg: cfg, spot: "A", speaker: Echo},
+		{cfg: ghmCfg, spot: "B", speaker: GHM},
+	}
+	runs, err := parallel.MapErr(len(setups), func(i int) (*run, error) {
+		return newRunForMulti(setups[i].cfg, setups[i].spot, setups[i].speaker)
+	})
 	if err != nil {
 		return nil, err
 	}
+	echoRun, ghmRun := runs[0], runs[1]
 
 	router := guard.NewRouter()
 	router.Add(trafficgen.EchoIP, echoRun.guard)
@@ -95,6 +106,23 @@ func newRunForMulti(cfg Config, spot string, speaker SpeakerKind) (*run, error) 
 	cfg.Spot = spot
 	cfg.Speaker = speaker
 	return newRun(cfg)
+}
+
+// RunSeeds executes the same experiment configuration once per seed
+// and returns the outcomes in seed order. Seeded trials share nothing
+// (each builds its own plan caches, guard, and RNG tree from its
+// seed), so they fan out across the parallel worker pool; outcome i
+// is identical to a serial Run with cfg.Seed = seeds[i].
+//
+// This is the entry point for confidence-interval sweeps: the
+// single-number tables of the paper become distributions by running
+// the same config across tens of seeds.
+func RunSeeds(cfg Config, seeds []int64) ([]*Outcome, error) {
+	return parallel.MapErr(len(seeds), func(i int) (*Outcome, error) {
+		c := cfg
+		c.Seed = seeds[i]
+		return Run(c)
+	})
 }
 
 // RouterFeedAll drives a merged, time-sorted capture through a guard

@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/parallel"
+	"voiceguard/internal/radio"
+)
+
+// withWorkers runs fn with the scenario worker pool pinned to n.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := parallel.SetWorkers(n)
+	defer parallel.SetWorkers(prev)
+	fn()
+}
+
+// TestRSSIMapWorkerCountInvariant is the layer-2 determinism gate for
+// the location sweep: 1 worker and an oversubscribed pool must
+// produce byte-identical maps.
+func TestRSSIMapWorkerCountInvariant(t *testing.T) {
+	plan := floorplan.House()
+	var serial, par []RSSIMapEntry
+	withWorkers(t, 1, func() {
+		var err error
+		serial, err = RSSIMap(plan, "A", radio.Pixel5, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 8, func() {
+		var err error
+		par, err = RSSIMap(plan, "A", radio.Pixel5, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("RSSIMap differs between 1 worker and 8 workers")
+	}
+}
+
+func TestTrafficRecognitionWorkerCountInvariant(t *testing.T) {
+	var serial, par RecognitionResult
+	withWorkers(t, 1, func() { serial = TrafficRecognition(40, 3) })
+	withWorkers(t, 8, func() { par = TrafficRecognition(40, 3) })
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("TrafficRecognition differs: serial %+v parallel %+v", serial, par)
+	}
+}
+
+func TestAttackVectorStudyWorkerCountInvariant(t *testing.T) {
+	var serial, par []VectorOutcome
+	withWorkers(t, 1, func() {
+		var err error
+		serial, err = AttackVectorStudy(9, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 8, func() {
+		var err error
+		par, err = AttackVectorStudy(9, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("AttackVectorStudy differs between worker counts")
+	}
+}
+
+func TestNoiseSensitivityWorkerCountInvariant(t *testing.T) {
+	scales := []float64{1, 4}
+	var serial, par []SensitivityPoint
+	withWorkers(t, 1, func() {
+		var err error
+		serial, err = NoiseSensitivity(scales, 1, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 4, func() {
+		var err error
+		par, err = NoiseSensitivity(scales, 1, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("NoiseSensitivity differs between worker counts")
+	}
+}
+
+func TestQueryDelayStudiesMatchSerialStudy(t *testing.T) {
+	speakers := []SpeakerKind{Echo, GHM}
+	var par []*DelayStudy
+	withWorkers(t, 4, func() {
+		var err error
+		par, err = QueryDelayStudies(speakers, 13, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	for i, sp := range speakers {
+		serial, err := QueryDelayStudy(sp, 13, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par[i]) {
+			t.Fatalf("speaker %v: parallel study differs from serial", sp)
+		}
+	}
+}
+
+func TestFig10CasesWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full trace studies")
+	}
+	var serial, par []*TraceStudy
+	withWorkers(t, 1, func() {
+		var err error
+		serial, err = Fig10Cases(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 4, func() {
+		var err error
+		par, err = Fig10Cases(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("Fig10Cases differs between worker counts")
+	}
+}
+
+// TestRunSeedsMatchesIndividualRuns pins the multi-seed fan-out to
+// the single-run path it parallelizes.
+func TestRunSeedsMatchesIndividualRuns(t *testing.T) {
+	cfg := Config{
+		Plan:    floorplan.Apartment(),
+		Spot:    "A",
+		Speaker: Echo,
+		Devices: []DeviceSpec{{ID: "pixel5", Hardware: radio.Pixel5}},
+		Days:    1,
+	}
+	seeds := []int64{11, 12, 13}
+	var fanned []*Outcome
+	withWorkers(t, 4, func() {
+		var err error
+		fanned, err = RunSeeds(cfg, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(fanned) != len(seeds) {
+		t.Fatalf("outcomes = %d, want %d", len(fanned), len(seeds))
+	}
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		want, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Confusion, fanned[i].Confusion) {
+			t.Fatalf("seed %d: confusion differs", seed)
+		}
+		if !reflect.DeepEqual(want.Records, fanned[i].Records) {
+			t.Fatalf("seed %d: records differ", seed)
+		}
+		if !reflect.DeepEqual(want.Thresholds, fanned[i].Thresholds) {
+			t.Fatalf("seed %d: thresholds differ", seed)
+		}
+	}
+}
+
+func TestRunSeedsPropagatesErrors(t *testing.T) {
+	_, err := RunSeeds(Config{}, []int64{1, 2})
+	if err == nil {
+		t.Fatal("config without plan must fail")
+	}
+}
+
+func TestRunMultiWorkerCountInvariant(t *testing.T) {
+	cfg := Config{
+		Plan:    floorplan.House(),
+		Devices: []DeviceSpec{{ID: "pixel5", Hardware: radio.Pixel5}},
+		Days:    1,
+	}
+	var serial, par *MultiOutcome
+	withWorkers(t, 1, func() {
+		var err error
+		serial, err = RunMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 4, func() {
+		var err error
+		par, err = RunMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("RunMulti differs between worker counts")
+	}
+}

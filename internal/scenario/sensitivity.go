@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"voiceguard/internal/floorplan"
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/stats"
 )
@@ -20,9 +21,12 @@ type SensitivityPoint struct {
 // level. The calibration walk runs under the same noise, so the
 // learned thresholds adapt; what eventually breaks is the structural
 // separation between in-room and away RSSI.
+// Each noise level runs as an independent experiment with its own
+// seed, so the sweep fans out across the parallel worker pool with
+// points identical to a serial sweep.
 func NoiseSensitivity(scales []float64, days int, seed int64) ([]SensitivityPoint, error) {
-	points := make([]SensitivityPoint, 0, len(scales))
-	for i, scale := range scales {
+	return parallel.MapErr(len(scales), func(i int) (SensitivityPoint, error) {
+		scale := scales[i]
 		params := radio.DefaultParams()
 		params.ShadowSigma *= scale
 		params.NoiseSigma *= scale
@@ -40,9 +44,8 @@ func NoiseSensitivity(scales []float64, days int, seed int64) ([]SensitivityPoin
 			Seed:        seed + int64(i)*1000,
 		})
 		if err != nil {
-			return nil, err
+			return SensitivityPoint{}, err
 		}
-		points = append(points, SensitivityPoint{NoiseScale: scale, Confusion: out.Confusion})
-	}
-	return points, nil
+		return SensitivityPoint{NoiseScale: scale, Confusion: out.Confusion}, nil
+	})
 }

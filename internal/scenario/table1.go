@@ -3,6 +3,7 @@ package scenario
 import (
 	"time"
 
+	"voiceguard/internal/parallel"
 	"voiceguard/internal/recognize"
 	"voiceguard/internal/rng"
 	"voiceguard/internal/stats"
@@ -24,6 +25,11 @@ type RecognitionResult struct {
 // Echo Dot (with the natural anomaly rate), classify every spike, and
 // tally confusion matrices. The paper activates the speaker 134
 // times.
+//
+// Generation is serial — the generator consumes one RNG stream, so
+// its draw order is part of the seeded record — but classification is
+// pure per spike and fans out across the parallel worker pool. The
+// tally order (and therefore the result) matches a serial run.
 func TrafficRecognition(invocations int, seed int64) RecognitionResult {
 	src := rng.New(seed)
 	echo := trafficgen.NewEcho(src.Split("traffic"))
@@ -31,17 +37,28 @@ func TrafficRecognition(invocations int, seed int64) RecognitionResult {
 
 	at := time.Date(2023, 3, 1, 9, 0, 0, 0, time.UTC)
 	respSrc := src.Split("responses")
+	var spikes []trafficgen.LabeledSpike
 	for i := 0; i < invocations; i++ {
 		inv := echo.Invocation(at, responseSpikes(respSrc))
-		for _, s := range inv.Spikes {
-			res.Spikes++
-			actual := s.Phase == trafficgen.PhaseCommand
-			predicted := recognize.ClassifyEchoSpike(s.Lengths()) == recognize.ClassCommand
-			res.Confusion.Add(actual, predicted)
-			naive := recognize.ClassifyNaive(s.Lengths()) == recognize.ClassCommand
-			res.Naive.Add(actual, naive)
-		}
+		spikes = append(spikes, inv.Spikes...)
 		at = at.Add(time.Duration(src.Uniform(60, 600)) * time.Second)
+	}
+
+	type verdict struct {
+		actual, predicted, naive bool
+	}
+	verdicts := parallel.Map(len(spikes), func(i int) verdict {
+		lengths := spikes[i].Lengths()
+		return verdict{
+			actual:    spikes[i].Phase == trafficgen.PhaseCommand,
+			predicted: recognize.ClassifyEchoSpike(lengths) == recognize.ClassCommand,
+			naive:     recognize.ClassifyNaive(lengths) == recognize.ClassCommand,
+		}
+	})
+	for _, v := range verdicts {
+		res.Spikes++
+		res.Confusion.Add(v.actual, v.predicted)
+		res.Naive.Add(v.actual, v.naive)
 	}
 	return res
 }
