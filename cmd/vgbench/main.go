@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"voiceguard/internal/cliutil"
 	"voiceguard/internal/corpus"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/metrics"
@@ -44,6 +45,19 @@ func main() {
 		jsonOut     = flag.String("json", "", "write per-experiment wall time, allocations, and pct_* quality metrics to this JSON file")
 	)
 	flag.Parse()
+
+	// Invalid flag values are usage errors: reject them up front with
+	// usage and exit 2 (the vgproxy standard), before any work starts.
+	if err := cliutil.FirstError(
+		cliutil.OneOf("-exp", *exp, append(append([]string{}, experimentOrder...), "all")...),
+		cliutil.Positive("-days", *days),
+		cliutil.Positive("-invocations", *invocations),
+		cliutil.Positive("-queries", *queries),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "vgbench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	closeTrace, err := trace.SetupFromFlags(trace.Default, *logLevel, *logFormat, *traceOut)
 	if err != nil {
@@ -164,6 +178,14 @@ func writeCSV(name string, write func(w *os.File) error) error {
 	return f.Close()
 }
 
+// experimentOrder lists every experiment in the order "-exp all" runs
+// them; it doubles as the valid value set for -exp flag validation.
+var experimentOrder = []string{
+	"table1", "table2", "table3", "table4",
+	"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "corpus",
+	"attacks", "robustness", "sensitivity",
+}
+
 func run(exp string, seed int64, days, invocations, queries int) error {
 	experiments := map[string]func() error{
 		"table1": func() error { return table1(invocations, seed) },
@@ -188,11 +210,7 @@ func run(exp string, seed int64, days, invocations, queries int) error {
 	}
 
 	if exp == "all" {
-		for _, name := range []string{
-			"table1", "table2", "table3", "table4",
-			"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "corpus",
-			"attacks", "robustness", "sensitivity",
-		} {
+		for _, name := range experimentOrder {
 			if err := timed(name, experiments[name]); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,213 @@
+// Command vglint runs the project's invariant analyzers (see
+// internal/analysis) over the module: rngshare, simclock, hotalloc,
+// and tracectx. It loads and type-checks the module with the standard
+// library only, prints file:line:col findings (or machine-readable
+// JSON with -json), and exits non-zero when any finding survives its
+// //vglint:allow directives.
+//
+// Usage:
+//
+//	vglint ./...                 # whole module
+//	vglint ./internal/radio      # one package
+//	vglint -rules simclock ./... # a single rule
+//	vglint -json ./...           # findings as JSON for CI annotations
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"voiceguard/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array (file, line, col, rule, message)")
+		rules   = flag.String("rules", "", "comma-separated rule subset to run (default: all)")
+		list    = flag.Bool("list", false, "list the available rules and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectRules(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vglint:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vglint:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vglint:", err)
+		os.Exit(2)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vglint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var findings []analysis.Diagnostic
+	matched := false
+	for _, pkg := range mod.Packages() {
+		ok, err := matchAny(mod, cwd, pkg, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vglint:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if !ok {
+			continue
+		}
+		matched = true
+		findings = append(findings, analysis.RunPackage(pkg, analyzers)...)
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "vglint: no packages match %v\n", patterns)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "vglint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "vglint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectRules resolves the -rules flag against the registry.
+func selectRules(spec string) ([]*analysis.Analyzer, error) {
+	if spec == "" {
+		return analysis.All(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := analysis.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (run vglint -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rules selected no rules")
+	}
+	return out, nil
+}
+
+// matchAny reports whether the package matches any of the go-style
+// package patterns, resolved relative to the invocation directory:
+// "./..." and "./dir/..." recursive patterns, "./dir" exact
+// directories, and plain import paths with an optional "/..." suffix.
+func matchAny(mod *analysis.Module, cwd string, pkg *analysis.Package, patterns []string) (bool, error) {
+	for _, pat := range patterns {
+		ok, err := match(mod, cwd, pkg, pat)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func match(mod *analysis.Module, cwd string, pkg *analysis.Package, pat string) (bool, error) {
+	if pat == "all" {
+		return true, nil
+	}
+	if strings.HasPrefix(pat, ".") {
+		// Filesystem-relative pattern.
+		rec := false
+		dir := pat
+		if d, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec, dir = true, d
+			if dir == "." || dir == "" {
+				dir = "."
+			}
+		}
+		abs, err := filepath.Abs(filepath.Join(cwd, dir))
+		if err != nil {
+			return false, err
+		}
+		if rec {
+			return pkg.Dir == abs || strings.HasPrefix(pkg.Dir, abs+string(filepath.Separator)), nil
+		}
+		return pkg.Dir == abs, nil
+	}
+	// Import-path pattern.
+	if p, ok := strings.CutSuffix(pat, "/..."); ok {
+		return pkg.Path == p || strings.HasPrefix(pkg.Path, p+"/"), nil
+	}
+	return pkg.Path == pat, nil
+}
+
+// jsonFinding is the machine-readable form of one finding, consumed
+// by CI annotation tooling.
+type jsonFinding struct {
+	File    string `json:"file"` // module-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w *os.File, root string, findings []analysis.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, d := range findings {
+		out = append(out, jsonFinding{
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// relPath renders a file path relative to the module root for stable,
+// environment-independent output.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}

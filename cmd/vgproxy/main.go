@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"voiceguard"
+	"voiceguard/internal/cliutil"
 	"voiceguard/internal/emul"
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/trace"
@@ -65,12 +66,7 @@ func main() {
 // validateVerdict rejects unknown -verdict values up front: a typo
 // must fail loudly with usage, not silently behave like "alternate".
 func validateVerdict(v string) error {
-	switch v {
-	case "allow", "block", "alternate":
-		return nil
-	default:
-		return fmt.Errorf("invalid -verdict %q (want allow, block, or alternate)", v)
-	}
+	return cliutil.OneOf("-verdict", v, "allow", "block", "alternate")
 }
 
 // newDebugMux assembles the HTTP surface served on -metrics-addr:

@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"voiceguard/internal/cliutil"
 	"voiceguard/internal/pcap"
 	"voiceguard/internal/recognize"
 	"voiceguard/internal/trace"
@@ -33,6 +34,17 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write every recorded span to this JSONL file (one classify span per spike)")
 	)
 	flag.Parse()
+
+	// Invalid flag values are usage errors: reject them up front with
+	// usage and exit 2 (the vgproxy standard), before any work starts.
+	if err := cliutil.FirstError(
+		cliutil.NonEmpty("-in", *in),
+		cliutil.OneOf("-speaker", *speaker, "echo", "ghm"),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "vgreplay:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	closeTrace, err := trace.SetupFromFlags(trace.Default, *logLevel, *logFormat, *traceOut)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"voiceguard"
+	"voiceguard/internal/cliutil"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/radio"
@@ -41,6 +42,25 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write every recorded span to this JSONL file")
 	)
 	flag.Parse()
+
+	// Invalid flag values are usage errors: reject them up front with
+	// usage and exit 2 (the vgproxy standard), before any work starts.
+	checks := []error{
+		cliutil.OneOf("-testbed", *testbed, "house", "apartment", "office"),
+		cliutil.OneOf("-speaker", *speaker, "echo", "ghm"),
+		cliutil.EachOf("-devices", *devices, "pixel5", "pixel4a", "watch4"),
+		cliutil.Positive("-days", *days),
+	}
+	if *planFile == "" {
+		// Custom plans name their own spots; only the built-in
+		// testbeds are limited to the paper's A/B deployments.
+		checks = append(checks, cliutil.OneOf("-spot", *spot, "A", "B"))
+	}
+	if err := cliutil.FirstError(checks...); err != nil {
+		fmt.Fprintln(os.Stderr, "vgsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	closeTrace, err := trace.SetupFromFlags(trace.Default, *logLevel, *logFormat, *traceOut)
 	if err != nil {

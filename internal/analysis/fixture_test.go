@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture harness: each testdata/src/<rule> directory is compiled
+// against the real module (so fixtures import the real rng, parallel,
+// ble, and simtime packages) under a masqueraded import path, the
+// rule runs, and the diagnostics must line up exactly with the
+// fixture's `// want `regexp`` comments.
+
+var (
+	modOnce sync.Once
+	mod     *Module
+	modErr  error
+)
+
+// testModule loads the enclosing module once per test binary.
+func testModule(t *testing.T) *Module {
+	t.Helper()
+	modOnce.Do(func() {
+		var root string
+		root, modErr = FindModuleRoot(".")
+		if modErr != nil {
+			return
+		}
+		mod, modErr = LoadModule(root)
+	})
+	if modErr != nil {
+		t.Fatalf("loading module: %v", modErr)
+	}
+	return mod
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runFixture compiles the fixture directory as pkgPath and checks the
+// analyzers' findings against the `// want` comments.
+func runFixture(t *testing.T, dir, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	m := testModule(t)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(files)
+
+	var wants []*expectation
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, match := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(match[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, match[1], err)
+				}
+				wants = append(wants, &expectation{file: file, line: i + 1, re: re})
+			}
+		}
+	}
+
+	pkg, err := m.CheckFiles(pkgPath, files)
+	if err != nil {
+		t.Fatalf("compiling fixture %s: %v", dir, err)
+	}
+	for _, d := range RunPackage(pkg, analyzers) {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestRNGShareFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "rngshare"), "voiceguard/fixtures/rngshare", RNGShare)
+}
+
+func TestSimClockFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "simclock"), "voiceguard/internal/scenario", SimClock)
+}
+
+// TestSimClockIgnoresWirePlane proves the package gating: the same
+// wall-clock fixture compiled as the (allowlisted) proxy package
+// produces no findings.
+func TestSimClockIgnoresWirePlane(t *testing.T) {
+	m := testModule(t)
+	entries, err := os.ReadDir(filepath.Join("testdata", "src", "simclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join("testdata", "src", "simclock", e.Name()))
+		}
+	}
+	pkg, err := m.CheckFiles("voiceguard/internal/proxy", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []Diagnostic
+	pass := &Pass{Analyzer: SimClock, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, PkgPath: pkg.Path, diags: &raw}
+	SimClock.Run(pass)
+	if len(raw) != 0 {
+		t.Fatalf("simclock fired in an allowlisted wire-plane package: %v", raw)
+	}
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "hotalloc"), "voiceguard/internal/radio", HotAlloc)
+}
+
+func TestTraceCtxFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "tracectx"), "voiceguard/internal/decision", TraceCtx)
+}

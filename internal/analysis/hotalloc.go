@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotFuncs designates the allocation-free hot paths: the per-sample
+// radio field, the wall-loss memo, the zero-copy proxy pumps, and the
+// per-packet spike classifiers. PR 3 pinned these at 0 allocs/op in
+// BenchmarkRadioSample / BenchmarkProxyThroughput; this rule keeps
+// the cheap-to-introduce allocation sources (formatting, string
+// concatenation, string<->[]byte conversions) out of them
+// mechanically. Functions are matched by name within the package, so
+// methods are listed by bare method name.
+var hotFuncs = map[string]map[string]bool{
+	"voiceguard/internal/radio": {
+		"PathRSSI": true, "Mean": true, "shadowAt": true,
+		"shadowAtUncached": true, "Sample": true, "AverageAt": true,
+	},
+	"voiceguard/internal/floorplan": {
+		"WallLoss": true, "wallLossUncached": true, "LineOfSight": true,
+		"shardFor": true, "get": true, "put": true,
+	},
+	"voiceguard/internal/proxy": {
+		"clientToServer": true, "serverToClient": true, "forward": true,
+	},
+	"voiceguard/internal/recognize": {
+		"ClassifyEchoSpike": true, "ClassifyNaive": true,
+		"matchesCommandFallback": true, "hasWithin": true, "hasAdjacent": true,
+		"Feed": true, "feedEcho": true, "feedGHM": true, "tryDecide": true,
+	},
+}
+
+// HotAlloc flags the easy-to-miss allocation sources inside the
+// designated hot functions: any fmt call, string concatenation, and
+// string<->[]byte conversions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "designated hot functions must stay allocation-free: no fmt, string concatenation, or string<->[]byte conversion",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	funcs := hotFuncs[pass.PkgPath]
+	if len(funcs) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcs[fd.Name.Name] {
+				continue
+			}
+			checkHotBody(pass, fd.Name.Name, fd.Body, false)
+		}
+	}
+}
+
+// checkHotBody walks one hot function body. inConcat suppresses
+// nested reports of the same string-concatenation chain so a+b+c is
+// one finding, not two.
+func checkHotBody(pass *Pass, fn string, n ast.Node, inConcat bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(pass.Info.Types[n].Type) {
+			if !inConcat {
+				pass.Reportf(n.Pos(),
+					"string concatenation in hot function %s allocates; use a preallocated buffer or restructure the key", fn)
+			}
+			checkHotBody(pass, fn, n.X, true)
+			checkHotBody(pass, fn, n.Y, true)
+			return
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass.Info.Types[n.Lhs[0]].Type) {
+			pass.Reportf(n.Pos(),
+				"string += in hot function %s allocates; use a preallocated buffer", fn)
+		}
+	case *ast.CallExpr:
+		if fnObj := callee(pass.Info, n); fnObj != nil && fnObj.Pkg() != nil && fnObj.Pkg().Path() == "fmt" {
+			pass.Reportf(n.Pos(),
+				"fmt.%s in hot function %s allocates (formatting escapes its arguments); keep formatting off the hot path", fnObj.Name(), fn)
+		} else if conv, from := conversionKind(pass.Info, n); conv != "" {
+			pass.Reportf(n.Pos(),
+				"%s(%s) conversion in hot function %s copies and allocates; keep one representation end to end", conv, from, fn)
+		}
+	}
+	// Recurse generically over children. Concatenation chains were
+	// handled above; everything else resets the inConcat guard.
+	children(n, func(c ast.Node) {
+		checkHotBody(pass, fn, c, false)
+	})
+}
+
+// children invokes f once for each direct child node of n.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// conversionKind classifies a call as a []byte(string) or
+// string([]byte) conversion; it returns ("", "") otherwise.
+func conversionKind(info *types.Info, call *ast.CallExpr) (to, from string) {
+	if len(call.Args) != 1 {
+		return "", ""
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", ""
+	}
+	argT := info.Types[call.Args[0]].Type
+	if argT == nil {
+		return "", ""
+	}
+	switch {
+	case isByteSlice(tv.Type) && isString(argT):
+		return "[]byte", "string"
+	case isString(tv.Type) && isByteSlice(argT):
+		return "string", "[]byte"
+	}
+	return "", ""
+}
+
+// isByteSlice reports whether t's underlying type is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	Path  string // import path ("voiceguard/internal/radio")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the fully loaded module: every non-test package, parsed
+// with comments and type-checked in dependency order against one
+// shared FileSet, so cross-package types are identical instances.
+type Module struct {
+	Root string // directory containing go.mod
+	Path string // module path from go.mod
+	Fset *token.FileSet
+
+	pkgs map[string]*Package
+	std  types.Importer
+}
+
+// FindModuleRoot walks up from dir to the nearest directory
+// containing a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("vglint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("vglint: no module directive in %s", gomod)
+}
+
+// skipDir reports whether a directory is outside the build: hidden
+// and underscore-prefixed trees, and testdata (which deliberately
+// holds rule-violating fixture code).
+func skipDir(name string) bool {
+	return name == "testdata" ||
+		strings.HasPrefix(name, ".") ||
+		strings.HasPrefix(name, "_")
+}
+
+// LoadModule parses and type-checks every non-test package under
+// root. Test files are excluded: every rule in the suite exempts
+// tests, and the wire-plane test helpers are free to use wall clocks
+// and contexts as they please.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root: root,
+		Path: modPath,
+		Fset: token.NewFileSet(),
+		pkgs: make(map[string]*Package),
+	}
+	m.std = newStdImporter(m.Fset)
+
+	// Discover package directories.
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	parsed := make(map[string]*Package, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := m.parseDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			parsed[importPath] = pkg
+		}
+	}
+
+	// Type-check in dependency order.
+	state := make(map[string]int, len(parsed)) // 0 new, 1 visiting, 2 done
+	var check func(path string) error
+	check = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("vglint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		pkg := parsed[path]
+		for _, dep := range importsOf(pkg.Files) {
+			if parsed[dep] != nil {
+				if err := check(dep); err != nil {
+					return err
+				}
+			}
+		}
+		if err := m.typecheck(pkg); err != nil {
+			return err
+		}
+		m.pkgs[path] = pkg
+		state[path] = 2
+		return nil
+	}
+	var paths []string
+	for p := range parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := check(p); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Packages returns every loaded package sorted by import path.
+func (m *Module) Packages() []*Package {
+	out := make([]*Package, 0, len(m.pkgs))
+	for _, p := range m.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Package returns the loaded package with the given import path.
+func (m *Module) Package(path string) (*Package, bool) {
+	p, ok := m.pkgs[path]
+	return p, ok
+}
+
+// parseDir parses the non-test .go files of one directory. A
+// directory with no buildable files returns (nil, nil).
+func (m *Module) parseDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: m.Fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// importsOf collects the unique import paths of a file set.
+func importsOf(files []*ast.File) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typecheck runs go/types over a parsed package, resolving
+// module-local imports to already-checked packages and everything
+// else through the standard-library importer.
+func (m *Module) typecheck(pkg *Package) error {
+	info := newInfo()
+	conf := types.Config{Importer: &moduleImporter{m: m}}
+	tpkg, err := conf.Check(pkg.Path, m.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("vglint: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// newInfo allocates the types.Info maps the analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// moduleImporter resolves imports during type-checking: module-local
+// paths come from the module's own checked packages, the rest from
+// the standard-library importer.
+type moduleImporter struct {
+	m *Module
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == mi.m.Path || strings.HasPrefix(path, mi.m.Path+"/") {
+		if p, ok := mi.m.pkgs[path]; ok {
+			return p.Types, nil
+		}
+		return nil, fmt.Errorf("vglint: module package %s not loaded (import cycle or missing dir?)", path)
+	}
+	return mi.m.std.Import(path)
+}
+
+// stdImporter resolves standard-library packages, preferring the
+// compiler's export data (fast) and falling back to type-checking
+// GOROOT source (robust across toolchains that ship no export data).
+// Results are memoized so the source fallback pays its cost once.
+type stdImporter struct {
+	gc     types.Importer
+	source types.Importer
+	cache  map[string]*types.Package
+}
+
+func newStdImporter(fset *token.FileSet) types.Importer {
+	return &stdImporter{
+		gc:     importer.Default(),
+		source: importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*types.Package),
+	}
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.cache[path]; ok {
+		return p, nil
+	}
+	p, err := si.gc.Import(path)
+	if err != nil {
+		p, err = si.source.Import(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("vglint: importing %s: %w", path, err)
+	}
+	si.cache[path] = p
+	return p, nil
+}
+
+// CheckFiles parses and type-checks an ad-hoc set of files as one
+// package with the given import path, resolving imports against the
+// module. The fixture tests use it to compile testdata packages that
+// masquerade as gated module packages.
+func (m *Module) CheckFiles(importPath string, filenames []string) (*Package, error) {
+	pkg := &Package{Path: importPath, Fset: m.Fset}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(m.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Dir = filepath.Dir(name)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("vglint: no files for %s", importPath)
+	}
+	if err := m.typecheck(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadModuleCoversRepo(t *testing.T) {
+	m := testModule(t)
+	if m.Path != "voiceguard" {
+		t.Fatalf("module path = %q, want voiceguard", m.Path)
+	}
+	for _, path := range []string{
+		"voiceguard",
+		"voiceguard/internal/rng",
+		"voiceguard/internal/parallel",
+		"voiceguard/internal/scenario",
+		"voiceguard/internal/proxy",
+		"voiceguard/cmd/vglint",
+	} {
+		pkg, ok := m.Package(path)
+		if !ok {
+			t.Fatalf("package %s not loaded", path)
+		}
+		if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+			t.Fatalf("package %s loaded without types/files", path)
+		}
+	}
+	for _, pkg := range m.Packages() {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Fatalf("fixture package %s leaked into the module load", pkg.Path)
+		}
+		for _, f := range pkg.Files {
+			name := m.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				t.Fatalf("test file %s leaked into the module load", name)
+			}
+		}
+	}
+}
+
+// TestCleanTree is the repo's own gate in test form: the current tree
+// must produce zero findings, so `go test ./...` catches invariant
+// violations even before the CI lint job runs.
+func TestCleanTree(t *testing.T) {
+	m := testModule(t)
+	var all []Diagnostic
+	for _, pkg := range m.Packages() {
+		all = append(all, RunPackage(pkg, All())...)
+	}
+	for _, d := range all {
+		t.Errorf("%s", d)
+	}
+}

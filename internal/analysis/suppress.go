@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The full form is
+//
+//	//vglint:allow <rule> <reason>
+//
+// placed on the offending line or on its own line directly above.
+const allowPrefix = "//vglint:allow"
+
+// directiveRule is the rule name used for diagnostics about the
+// directives themselves (malformed or suppressing nothing). These are
+// not suppressible: a broken suppression must be fixed, not silenced.
+const directiveRule = "vglint"
+
+// directive is one parsed //vglint:allow comment.
+type directive struct {
+	rule   string
+	reason string
+	pos    token.Position
+	broken bool // malformed: missing rule/reason or unknown rule
+	used   bool
+}
+
+// parseDirectives extracts every vglint directive of a package,
+// indexed by file name and comment line.
+func parseDirectives(pkg *Package) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				d := &directive{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) >= 1 {
+					d.rule = fields[0]
+				}
+				if len(fields) >= 2 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				if d.rule == "" || d.reason == "" {
+					d.broken = true
+				} else if _, ok := ByName(d.rule); !ok {
+					d.broken = true
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters raw findings through the package's allow
+// directives. A well-formed directive on a finding's line, or on the
+// line directly above it, suppresses findings of its rule. Malformed
+// directives, and directives for an executed rule that suppressed
+// nothing, are reported as findings themselves so stale annotations
+// cannot accumulate.
+func applySuppressions(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []Diagnostic {
+	directives := parseDirectives(pkg)
+	byLine := make(map[string][]*directive, len(directives))
+	key := func(file string, line int) string { return file + "\x00" + strconv.Itoa(line) }
+	for _, d := range directives {
+		if d.broken {
+			continue
+		}
+		byLine[key(d.pos.Filename, d.pos.Line)] = append(byLine[key(d.pos.Filename, d.pos.Line)], d)
+	}
+
+	var out []Diagnostic
+	for _, diag := range raw {
+		suppressed := false
+		for _, line := range []int{diag.Pos.Line, diag.Pos.Line - 1} {
+			for _, d := range byLine[key(diag.Pos.Filename, line)] {
+				if d.rule == diag.Rule {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, d := range directives {
+		switch {
+		case d.broken:
+			out = append(out, Diagnostic{
+				Pos:  d.pos,
+				Rule: directiveRule,
+				Message: "malformed directive: want //vglint:allow <rule> <reason> " +
+					"with a known rule and a non-empty reason",
+			})
+		case ran[d.rule] && !d.used:
+			out = append(out, Diagnostic{
+				Pos:     d.pos,
+				Rule:    directiveRule,
+				Message: "//vglint:allow " + d.rule + " suppresses nothing; remove the stale directive",
+			})
+		}
+	}
+	return out
+}

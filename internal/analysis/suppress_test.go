@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSnippet compiles one source string as pkgPath and runs the
+// analyzers over it through the full suppression pipeline.
+func checkSnippet(t *testing.T, pkgPath, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	m := testModule(t)
+	path := filepath.Join(t.TempDir(), "snippet.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.CheckFiles(pkgPath, []string{path})
+	if err != nil {
+		t.Fatalf("compiling snippet: %v", err)
+	}
+	return RunPackage(pkg, analyzers)
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	src := `package scenario
+
+import "time"
+
+func a() time.Time {
+	//vglint:allow simclock wall clock is the measurement
+	return time.Now()
+}
+
+func b() time.Time {
+	return time.Now() //vglint:allow simclock wall clock is the measurement
+}
+`
+	if diags := checkSnippet(t, "voiceguard/internal/scenario", src, SimClock); len(diags) != 0 {
+		t.Fatalf("annotated findings survived: %v", diags)
+	}
+}
+
+func TestSuppressionIsRuleSpecific(t *testing.T) {
+	src := `package scenario
+
+import "time"
+
+func a() time.Time {
+	//vglint:allow hotalloc wrong rule on purpose
+	return time.Now()
+}
+`
+	diags := checkSnippet(t, "voiceguard/internal/scenario", src, SimClock)
+	if len(diags) != 1 || diags[0].Rule != "simclock" {
+		t.Fatalf("want the simclock finding to survive a hotalloc directive, got %v", diags)
+	}
+}
+
+func TestStaleDirectiveIsReported(t *testing.T) {
+	src := `package scenario
+
+//vglint:allow simclock nothing below this line violates anything
+
+func a() int { return 1 }
+`
+	diags := checkSnippet(t, "voiceguard/internal/scenario", src, SimClock)
+	if len(diags) != 1 || diags[0].Rule != directiveRule || !strings.Contains(diags[0].Message, "suppresses nothing") {
+		t.Fatalf("want one stale-directive finding, got %v", diags)
+	}
+}
+
+func TestStaleDirectiveIgnoredWhenRuleNotRun(t *testing.T) {
+	src := `package scenario
+
+//vglint:allow hotalloc this rule is not part of the run
+
+func a() int { return 1 }
+`
+	if diags := checkSnippet(t, "voiceguard/internal/scenario", src, SimClock); len(diags) != 0 {
+		t.Fatalf("directive for a rule outside the run set was reported: %v", diags)
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	src := `package scenario
+
+//vglint:allow simclock
+
+func a() int { return 1 }
+
+//vglint:allow nosuchrule with a perfectly fine reason
+
+func b() int { return 2 }
+`
+	diags := checkSnippet(t, "voiceguard/internal/scenario", src, SimClock)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 malformed-directive findings, got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Rule != directiveRule || !strings.Contains(d.Message, "malformed directive") {
+			t.Fatalf("want malformed-directive findings, got %v", diags)
+		}
+	}
+}
+
+func TestRunPackageOrdersFindings(t *testing.T) {
+	src := `package scenario
+
+import "time"
+
+func b() { time.Sleep(time.Second) }
+
+func a() time.Time { return time.Now() }
+`
+	diags := checkSnippet(t, "voiceguard/internal/scenario", src, SimClock)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings, got %v", diags)
+	}
+	if diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Fatalf("findings not in position order: %v", diags)
+	}
+}
+
+func TestByNameAndAll(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Run == nil || a.Doc == "" {
+			t.Fatalf("incomplete analyzer registration: %+v", a)
+		}
+		if names[a.Name] {
+			t.Fatalf("duplicate rule name %q", a.Name)
+		}
+		names[a.Name] = true
+		got, ok := ByName(a.Name)
+		if !ok || got != a {
+			t.Fatalf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	for _, want := range []string{"rngshare", "simclock", "hotalloc", "tracectx"} {
+		if !names[want] {
+			t.Fatalf("rule %q missing from All(): have %v", want, names)
+		}
+	}
+	if _, ok := ByName("nosuchrule"); ok {
+		t.Fatal("ByName accepted an unknown rule")
+	}
+}

@@ -1,0 +1,62 @@
+// Package radio is the vglint fixture for the hotalloc rule,
+// compiled under the hot-path package path voiceguard/internal/radio:
+// formatting, string concatenation, and string<->[]byte conversions
+// are flagged inside the designated hot functions and legal anywhere
+// else.
+package radio
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Model mirrors the shape of radio.Model so the designated method
+// names resolve.
+type Model struct{}
+
+// Sample is a designated hot function: formatting is flagged.
+func (m *Model) Sample(a, b float64) string {
+	return fmt.Sprintf("%f|%f", a, b) // want `fmt\.Sprintf in hot function Sample`
+}
+
+// Mean is a designated hot function: concatenation and conversions
+// are flagged; a chained a+b+c concatenation is one finding.
+func (m *Model) Mean(key, suffix string) []byte {
+	joined := key + ":" + suffix // want `string concatenation in hot function Mean`
+	return []byte(joined)        // want `\[\]byte\(string\) conversion in hot function Mean`
+}
+
+// PathRSSI is a designated hot function: the reverse conversion is
+// flagged too.
+func (m *Model) PathRSSI(raw []byte) string {
+	return string(raw) // want `string\(\[\]byte\) conversion in hot function PathRSSI`
+}
+
+// shadowAt is a designated hot function: += on strings is flagged.
+func (m *Model) shadowAt(parts []string) string {
+	var out string
+	for _, p := range parts {
+		out += p // want `string \+= in hot function shadowAt`
+	}
+	return out
+}
+
+// AverageAt keeps a deliberate formatting call under an allow
+// directive.
+func (m *Model) AverageAt(x float64) string {
+	//vglint:allow hotalloc fixture keeps the readable formatting; this mirrors radio.shadowAtUncached's annotated miss path
+	return fmt.Sprint(x)
+}
+
+// integerMath is hot-function-free arithmetic: no findings even in a
+// designated function body shape.
+func (m *Model) integerMath(a, b int) int {
+	return a*b + b // not a string concatenation: + on ints is fine anywhere
+}
+
+// notHot is not a designated hot function: the same constructs are
+// legal here.
+func notHot(a, b string) string {
+	buf := []byte(a + b)
+	return fmt.Sprintf("%s/%s", string(buf), strconv.Itoa(len(buf)))
+}

@@ -1,0 +1,104 @@
+// Package rngshare is the vglint fixture for the rngshare rule: a
+// seeded stream captured by a worker must be flagged, while deriving
+// per-worker streams from a shared root via Split/SplitN is legal.
+package rngshare
+
+import (
+	"voiceguard/internal/ble"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/parallel"
+	"voiceguard/internal/rng"
+	"voiceguard/internal/trafficgen"
+)
+
+// sharedMapDraw consumes one stream from every Map worker — flagged.
+func sharedMapDraw(seed int64) []float64 {
+	src := rng.New(seed)
+	return parallel.Map(4, func(i int) float64 {
+		return src.Float64() // want `"src" \(type \*rng\.Source\) is captured by a parallel.Map closure`
+	})
+}
+
+// sharedMapErrDraw does the same through MapErr — flagged.
+func sharedMapErrDraw(seed int64) ([]int, error) {
+	src := rng.New(seed)
+	return parallel.MapErr(4, func(i int) (int, error) {
+		return src.IntN(10), nil // want `"src" \(type \*rng\.Source\) is captured by a parallel.MapErr closure`
+	})
+}
+
+// sharedDoDraw consumes a stream from a Do worker — flagged.
+func sharedDoDraw(seed int64, out []float64) {
+	src := rng.New(seed)
+	parallel.Do(len(out), func(i int) {
+		out[i] = src.Float64() // want `"src" \(type \*rng\.Source\) is captured by a parallel.Do closure`
+	})
+}
+
+// sharedGoDraw consumes a captured stream from a goroutine — flagged.
+func sharedGoDraw(seed int64) {
+	src := rng.New(seed)
+	done := make(chan struct{})
+	go func() {
+		_ = src.Float64() // want `"src" \(type \*rng\.Source\) is captured by a go statement`
+		close(done)
+	}()
+	<-done
+}
+
+// sharedScanner captures a BLE scanner (it owns a stream) — flagged.
+func sharedScanner(sc *ble.Scanner, adv ble.Advertiser, positions []floorplan.Position) []ble.Reading {
+	return parallel.Map(len(positions), func(i int) ble.Reading {
+		return sc.Measure(adv, positions[i]) // want `"sc" \(type \*ble\.Scanner\) is captured by a parallel.Map closure`
+	})
+}
+
+// sharedGenerator captures a traffic generator — flagged.
+func sharedGenerator(echo *trafficgen.Echo) {
+	go func() {
+		_ = echo // want `"echo" \(type \*trafficgen\.Echo\) is captured by a go statement`
+	}()
+}
+
+// perWorkerSplit derives each worker's stream from the shared root —
+// the legal pattern, not flagged.
+func perWorkerSplit(seed int64) []float64 {
+	root := rng.New(seed)
+	return parallel.Map(4, func(i int) float64 {
+		return root.SplitN("trial", i).Float64()
+	})
+}
+
+// perWorkerSplitLabel uses Split with a per-worker label — legal.
+func perWorkerSplitLabel(seed int64, labels []string) []float64 {
+	root := rng.New(seed)
+	return parallel.Map(len(labels), func(i int) float64 {
+		return root.Split(labels[i]).Float64()
+	})
+}
+
+// perWorkerNew builds the stream inside the worker — legal.
+func perWorkerNew(seed int64) []float64 {
+	return parallel.Map(4, func(i int) float64 {
+		return rng.New(seed + int64(i)).Float64()
+	})
+}
+
+// serialUseOutsideFanOut draws after the fan-out returns — legal.
+func serialUseOutsideFanOut(seed int64) float64 {
+	src := rng.New(seed)
+	_ = parallel.Map(4, func(i int) int { return i })
+	return src.Float64()
+}
+
+// suppressed documents a deliberate single-worker share with an
+// allow directive.
+func suppressed(seed int64) []float64 {
+	src := rng.New(seed)
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	return parallel.Map(4, func(i int) float64 {
+		//vglint:allow rngshare the pool is pinned to one worker two lines up, so the shared draw order is still deterministic
+		return src.Float64()
+	})
+}

@@ -1,0 +1,61 @@
+// Package scenario is the vglint fixture for the simclock rule,
+// compiled under the deterministic simulation package path
+// voiceguard/internal/scenario: wall-clock reads and waits are
+// flagged; reading an injected simtime.Clock is the legal pattern.
+package scenario
+
+import (
+	"time"
+
+	"voiceguard/internal/simtime"
+)
+
+// wallRead reads the wall clock on a simulated path — flagged.
+func wallRead() time.Time {
+	return time.Now() // want `time\.Now in deterministic simulation package voiceguard/internal/scenario`
+}
+
+// wallWaits block on the wall clock — flagged per call.
+func wallWaits(d time.Duration) {
+	time.Sleep(d)         // want `time\.Sleep in deterministic simulation package`
+	<-time.After(d)       // want `time\.After in deterministic simulation package`
+	t := time.NewTimer(d) // want `time\.NewTimer in deterministic simulation package`
+	t.Stop()
+}
+
+// wallElapsed measures with the wall clock — flagged.
+func wallElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic simulation package`
+}
+
+// clockRead takes the injected clock — the legal pattern.
+func clockRead(clock simtime.Clock) time.Time {
+	return clock.Now()
+}
+
+// clockElapsed measures against the injected clock — legal.
+func clockElapsed(clock simtime.Clock) time.Duration {
+	start := clock.Now()
+	return clock.Now().Sub(start)
+}
+
+// simScheduling drives a simulated clock — legal: *simtime.Sim is
+// exactly how deterministic time is supposed to move.
+func simScheduling(start time.Time) time.Time {
+	sim := simtime.NewSim(start)
+	sim.After(3*time.Second, func() {})
+	sim.Run()
+	return sim.Now()
+}
+
+// deliberateWallClock documents a measurement that genuinely wants
+// wall time, with an allow directive on the line above.
+func deliberateWallClock() time.Time {
+	//vglint:allow simclock this fixture line measures real elapsed time on sockets, mirroring scenario/fig4.go
+	return time.Now()
+}
+
+// trailingDirective suppresses on the same line.
+func trailingDirective(d time.Duration) {
+	time.Sleep(d) //vglint:allow simclock real-socket wait in this fixture
+}

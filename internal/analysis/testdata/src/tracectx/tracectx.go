@@ -1,0 +1,40 @@
+// Package decision is the vglint fixture for the tracectx rule,
+// compiled under the pipeline package path
+// voiceguard/internal/decision: minting a fresh context drops the
+// command-ID thread; deriving from the caller's ctx is the legal
+// pattern.
+package decision
+
+import (
+	"context"
+	"time"
+)
+
+// freshBackground mints a root context mid-pipeline — flagged.
+func freshBackground() context.Context {
+	return context.Background() // want `context\.Background in pipeline package voiceguard/internal/decision`
+}
+
+// freshTODO is the same smell in TODO form — flagged.
+func freshTODO() context.Context {
+	return context.TODO() // want `context\.TODO in pipeline package`
+}
+
+// plumbed derives from the caller's context — legal.
+func plumbed(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second)
+}
+
+type ctxKey struct{}
+
+// annotated derives from the caller too — legal, no directive needed.
+func annotated(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// detachedJob documents a deliberately detached lifetime with an
+// allow directive.
+func detachedJob() context.Context {
+	//vglint:allow tracectx detached janitor owns its lifetime; no command is in flight when it runs
+	return context.Background()
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// pipelinePackages are the stages a command's traffic flows through.
+// PR 2 threads a trace.CommandID via context from spike start to the
+// proxy verdict; minting a fresh context.Background()/TODO() inside a
+// stage silently drops that thread and orphans every downstream span.
+var pipelinePackages = map[string]bool{
+	"voiceguard/internal/proxy":     true,
+	"voiceguard/internal/guard":     true,
+	"voiceguard/internal/decision":  true,
+	"voiceguard/internal/recognize": true,
+	"voiceguard/internal/push":      true,
+	"voiceguard/internal/trace":     true,
+}
+
+// TraceCtx flags context.Background() and context.TODO() in pipeline
+// packages (outside main packages and tests), where the caller's
+// context — carrying the PR 2 command ID — must be plumbed instead.
+var TraceCtx = &Analyzer{
+	Name: "tracectx",
+	Doc:  "pipeline stages must plumb the caller's context; Background/TODO drop the command-ID thread",
+	Run:  runTraceCtx,
+}
+
+func runTraceCtx(pass *Pass) {
+	if !pipelinePackages[pass.PkgPath] || pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s in pipeline package %s drops the command-ID thread; plumb the caller's ctx (see trace.WithCommand)",
+					name, pass.PkgPath)
+			}
+			return true
+		})
+	}
+}

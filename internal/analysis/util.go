@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callee resolves a call expression to the statically named function
+// or method it invokes, or nil for dynamic calls (function values,
+// interface methods resolve too — the *types.Func is the interface
+// method).
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// namedPtrTo reports whether t is *pkgPath.name, unwrapping aliases.
+func namedPtrTo(t types.Type, pkgPath, name string) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		// A plain pointer type has itself as underlying; also accept
+		// the direct case for robustness.
+		if p, ok2 := t.(*types.Pointer); ok2 {
+			ptr = p
+		} else {
+			return false
+		}
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// typeString renders a type compactly for diagnostics, qualified by
+// package base name ("*rng.Source").
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

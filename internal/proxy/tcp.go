@@ -184,6 +184,9 @@ func (p *TCP) acceptLoop(maxHoldBytes int) {
 		if err != nil {
 			return // listener closed
 		}
+		// The upstream dial happens at accept time, before any spike —
+		// and therefore any command ID — exists on this session.
+		//vglint:allow tracectx accept-time dial precedes any command; the session binds its command ID later via BindCommand
 		server, err := p.dial(context.Background())
 		if err != nil {
 			mUpstreamDialErr.Inc()

@@ -176,6 +176,7 @@ func (m *Model) shadowAt(tx, rx floorplan.Position) float64 {
 // over the quantized link, hashed into a fresh split of the model's
 // shadow stream. It remains the source of truth the memo serves.
 func (m *Model) shadowAtUncached(tx, rx floorplan.Position) float64 {
+	//vglint:allow hotalloc miss path only: the memo in shadowAt serves hits; this Sprintf is the seeded source of truth hits must stay bit-identical to
 	key := fmt.Sprintf("%d:%.1f:%.1f|%d:%d:%d",
 		tx.Floor, tx.At.X, tx.At.Y,
 		rx.Floor, int(math.Floor(rx.At.X*2)), int(math.Floor(rx.At.Y*2)))

@@ -219,6 +219,7 @@ func (t *Tracer) Record(s Span) {
 		if anomaly != "" {
 			level = slog.LevelWarn
 		}
+		//vglint:allow tracectx slog bridge: the span carries its CommandID explicitly in logAttrs, nothing rides the ctx here
 		c.logger.LogAttrs(context.Background(), level, s.Stage+"."+s.Name, logAttrs(s)...)
 	}
 	if anomaly != "" && c.onAnomaly != nil {
