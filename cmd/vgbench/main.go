@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"voiceguard/internal/cliutil"
 	"voiceguard/internal/corpus"
+	"voiceguard/internal/faults"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/netem"
@@ -33,8 +35,9 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig4|fig6|fig7|fig8|fig9|fig10|corpus|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig4|fig6|fig7|fig8|fig9|fig10|corpus|faults|all")
 		seed        = flag.Int64("seed", 1, "simulation seed")
+		fault       = flag.String("fault", "all", "fault profile for -exp faults: all|"+strings.Join(faults.ProfileNames(), "|"))
 		days        = flag.Int("days", 7, "days per protection experiment")
 		invocations = flag.Int("invocations", 134, "invocations for the recognition study")
 		queries     = flag.Int("queries", 100, "invocations per delay study")
@@ -50,6 +53,7 @@ func main() {
 	// usage and exit 2 (the vgproxy standard), before any work starts.
 	if err := cliutil.FirstError(
 		cliutil.OneOf("-exp", *exp, append(append([]string{}, experimentOrder...), "all")...),
+		cliutil.OneOf("-fault", *fault, append([]string{"all"}, faults.ProfileNames()...)...),
 		cliutil.Positive("-days", *days),
 		cliutil.Positive("-invocations", *invocations),
 		cliutil.Positive("-queries", *queries),
@@ -73,7 +77,7 @@ func main() {
 		}
 	}
 	csvInto = *csvDir
-	if err := run(*exp, *seed, *days, *invocations, *queries); err != nil {
+	if err := run(*exp, *seed, *days, *invocations, *queries, *fault); err != nil {
 		fmt.Fprintln(os.Stderr, "vgbench:", err)
 		os.Exit(1)
 	}
@@ -183,10 +187,10 @@ func writeCSV(name string, write func(w *os.File) error) error {
 var experimentOrder = []string{
 	"table1", "table2", "table3", "table4",
 	"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "corpus",
-	"attacks", "robustness", "sensitivity",
+	"attacks", "robustness", "sensitivity", "faults",
 }
 
-func run(exp string, seed int64, days, invocations, queries int) error {
+func run(exp string, seed int64, days, invocations, queries int, fault string) error {
 	experiments := map[string]func() error{
 		"table1": func() error { return table1(invocations, seed) },
 		"table2": func() error {
@@ -207,6 +211,7 @@ func run(exp string, seed int64, days, invocations, queries int) error {
 		"attacks":     func() error { return attackStudy(seed) },
 		"robustness":  func() error { return robustness(seed) },
 		"sensitivity": func() error { return sensitivity(days, seed) },
+		"faults":      func() error { return faultStudy(days, seed, fault) },
 	}
 
 	if exp == "all" {
@@ -394,6 +399,39 @@ func sensitivity(days int, seed int64) error {
 		return err
 	}
 	fmt.Print(report.SensitivityTable(points))
+	return nil
+}
+
+// faultStudy re-runs the protection protocol under push-channel fault
+// profiles. profile "all" sweeps the standard set; naming one profile
+// runs just the clean baseline and that profile (the bench-smoke
+// configuration).
+func faultStudy(days int, seed int64, profile string) error {
+	profiles := faults.Profiles()
+	if profile != "all" {
+		p, ok := faults.ByName(profile)
+		if !ok {
+			return fmt.Errorf("unknown fault profile %q", profile)
+		}
+		profiles = []faults.Profile{faults.None(), p}
+	}
+	points, err := scenario.FaultStudy(scenario.FaultStudyConfig{
+		Profiles: profiles,
+		Days:     days,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	clean, worst := points[0].Confusion.Accuracy(), points[0].Confusion.Accuracy()
+	for _, pt := range points[1:] {
+		if a := pt.Confusion.Accuracy(); a < worst {
+			worst = a
+		}
+	}
+	recordMetric("pct_accuracy_clean", 100*clean)
+	recordMetric("pct_accuracy_worst_profile", 100*worst)
+	fmt.Print(report.FaultTable(points))
 	return nil
 }
 

@@ -15,6 +15,8 @@ var simClockPackages = map[string]bool{
 	"voiceguard/internal/recognize": true,
 	"voiceguard/internal/mobility":  true,
 	"voiceguard/internal/stats":     true,
+	"voiceguard/internal/faults":    true,
+	"voiceguard/internal/push":      true,
 }
 
 // wallClockFuncs are the package time functions that read or wait on

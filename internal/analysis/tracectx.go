@@ -15,6 +15,7 @@ var pipelinePackages = map[string]bool{
 	"voiceguard/internal/recognize": true,
 	"voiceguard/internal/push":      true,
 	"voiceguard/internal/trace":     true,
+	"voiceguard/internal/faults":    true,
 }
 
 // TraceCtx flags context.Background() and context.TODO() in pipeline

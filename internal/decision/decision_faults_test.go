@@ -1,0 +1,206 @@
+package decision
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"voiceguard/internal/ble"
+	"voiceguard/internal/faults"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/geom"
+	"voiceguard/internal/push"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/rng"
+)
+
+// withFaults installs a fault plan on the fixture's broker.
+func (f *houseFixture) withFaults(p faults.Profile) {
+	f.broker.SetFaults(faults.NewPlan(p, f.clock, rng.New(23).Split("faults")))
+}
+
+// addOffline registers a second, unreachable device.
+func (f *houseFixture) addOffline(t *testing.T, id string) {
+	t.Helper()
+	pos := floorplan.Position{Floor: 0, At: geom.Point{X: 4, Y: 3}}
+	if err := f.broker.Register(&push.Device{
+		ID:       id,
+		Scanner:  ble.NewScanner(f.model, radio.Pixel4a, f.root.Split("scan-"+id)),
+		Position: func() floorplan.Position { return pos },
+		Offline:  true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replyArrival measures, on a throwaway fixture with the given seed,
+// when the single device's reply lands relative to the request — so a
+// second fixture with the same seed can pin its timeout to that exact
+// simulated instant.
+func replyArrival(t *testing.T, seed int64) time.Duration {
+	t.Helper()
+	f := newHouseFixture(t, seed)
+	var at time.Time
+	if err := f.broker.RequestRSSI([]string{"pixel5"}, f.adv, func(r push.Reply) { at = r.At }); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(time.Minute)
+	if at.IsZero() {
+		t.Fatal("probe reply never arrived")
+	}
+	return at.Sub(epoch)
+}
+
+// Regression for the reply-vs-timeout race: when the reply lands at
+// the very simulated instant the timeout fires, exactly one verdict
+// may be produced — and it is the timeout's, since the event queue
+// runs same-instant events in scheduling order. runCheck fails the
+// test on a double-delivered verdict.
+func TestSingleVerdictWhenReplyRacesTimeout(t *testing.T) {
+	const seed = 31
+	arrival := replyArrival(t, seed)
+
+	f := newHouseFixture(t, seed)
+	f.pos = floorplan.Position{Floor: 0, At: geom.Point{X: 3, Y: 2.5}} // living room: the reply would pass
+	m := &RSSIMethod{
+		Clock:   f.clock,
+		Broker:  f.broker,
+		Adv:     f.adv,
+		Devices: []DeviceConfig{{ID: "pixel5", Threshold: -8.5}},
+		Timeout: arrival, // timeout fires at the reply's exact instant
+	}
+	got := runCheck(t, f, m)
+	if got.Legitimate {
+		t.Fatalf("late reply overturned the timeout verdict: %+v", got)
+	}
+	if !strings.Contains(got.Reason, "timeout") {
+		t.Fatalf("reason = %q, want the timeout verdict", got.Reason)
+	}
+	if want := epoch.Add(arrival); !got.At.Equal(want) {
+		t.Fatalf("verdict at %v, want %v", got.At, want)
+	}
+}
+
+// A reply arriving strictly after the timeout must likewise be
+// discarded without a second verdict.
+func TestLateReplyAfterTimeoutIgnored(t *testing.T) {
+	const seed = 32
+	arrival := replyArrival(t, seed)
+
+	f := newHouseFixture(t, seed)
+	f.pos = floorplan.Position{Floor: 0, At: geom.Point{X: 3, Y: 2.5}}
+	m := &RSSIMethod{
+		Clock:   f.clock,
+		Broker:  f.broker,
+		Adv:     f.adv,
+		Devices: []DeviceConfig{{ID: "pixel5", Threshold: -8.5}},
+		Timeout: arrival - time.Millisecond,
+	}
+	got := runCheck(t, f, m)
+	if got.Legitimate {
+		t.Fatalf("reply after the timeout overturned the verdict: %+v", got)
+	}
+}
+
+// Regression for the duplicate double-decrement: a duplicated reply
+// used to decrement the pending count twice, firing the "no device
+// near" verdict while another device was still out — here the second
+// device is an offline black hole, so the correct verdict is the
+// timeout with partial replies, not an early completion.
+func TestDuplicateReplyDoesNotForceEarlyVerdict(t *testing.T) {
+	f := newHouseFixture(t, 33)
+	f.withFaults(faults.Profile{Duplicate: 1.0})
+	f.addOffline(t, "tablet")
+	f.pos = floorplan.Position{Floor: 0, At: geom.Point{X: 10, Y: 8}} // far: the reply fails
+	m := &RSSIMethod{
+		Clock:  f.clock,
+		Broker: f.broker,
+		Adv:    f.adv,
+		Devices: []DeviceConfig{
+			{ID: "pixel5", Threshold: -8.5},
+			{ID: "tablet", Threshold: -8.5},
+		},
+		Timeout: 3 * time.Second,
+	}
+	got := runCheck(t, f, m)
+	if !strings.Contains(got.Reason, "partial replies (1/2)") {
+		t.Fatalf("reason = %q, want a timeout with partial replies — a duplicate must not complete the query early", got.Reason)
+	}
+	if got.PathDead {
+		t.Fatal("partial replies marked the path dead")
+	}
+	if want := epoch.Add(3 * time.Second); !got.At.Equal(want) {
+		t.Fatalf("verdict at %v, want the timeout instant %v", got.At, want)
+	}
+}
+
+// A corrupted reply may never vote a command legitimate, even when
+// the underlying reading would have passed.
+func TestCorruptReplyCannotPass(t *testing.T) {
+	f := newHouseFixture(t, 34)
+	f.withFaults(faults.Profile{Corrupt: 1.0})
+	f.pos = floorplan.Position{Floor: 0, At: geom.Point{X: 3, Y: 2.5}} // in room: would pass clean
+	m := &RSSIMethod{
+		Clock:   f.clock,
+		Broker:  f.broker,
+		Adv:     f.adv,
+		Devices: []DeviceConfig{{ID: "pixel5", Threshold: -8.5}},
+		Timeout: 3 * time.Second,
+	}
+	got := runCheck(t, f, m)
+	if got.Legitimate {
+		t.Fatalf("corrupt reply passed the check: %+v", got)
+	}
+	if !strings.Contains(got.Reason, "corrupted") {
+		t.Fatalf("reason = %q, want the corruption surfaced", got.Reason)
+	}
+}
+
+// When every send fails observably, the verdict arrives as soon as
+// the re-push cap is exhausted — marked PathDead, well before the
+// query timeout.
+func TestAllSendsFailedIsEarlyPathDead(t *testing.T) {
+	f := newHouseFixture(t, 35)
+	f.withFaults(faults.Profile{Drop: 1.0})
+	m := &RSSIMethod{
+		Clock:   f.clock,
+		Broker:  f.broker,
+		Adv:     f.adv,
+		Devices: []DeviceConfig{{ID: "pixel5", Threshold: -8.5}},
+		Timeout: 30 * time.Second,
+	}
+	got := runCheck(t, f, m)
+	if got.Legitimate || !got.PathDead {
+		t.Fatalf("want a path-dead block, got %+v", got)
+	}
+	if !strings.Contains(got.Reason, "push path dead") {
+		t.Fatalf("reason = %q, want the dead push path surfaced", got.Reason)
+	}
+	// Default retry ladder: 400ms + 800ms + 1.6s of backoff → +2.8s,
+	// far earlier than the 30s timeout.
+	if want := epoch.Add(2800 * time.Millisecond); !got.At.Equal(want) {
+		t.Fatalf("verdict at %v, want %v (retry cap, not the timeout)", got.At, want)
+	}
+}
+
+// A timeout with zero replies — every push black-holed — reports "no
+// device reachable" and is PathDead; the partial-reply timeout stays
+// an evidence-based block.
+func TestTimeoutWithZeroRepliesIsPathDead(t *testing.T) {
+	f := newHouseFixture(t, 36)
+	f.addOffline(t, "tablet")
+	m := &RSSIMethod{
+		Clock:   f.clock,
+		Broker:  f.broker,
+		Adv:     f.adv,
+		Devices: []DeviceConfig{{ID: "tablet", Threshold: -8.5}},
+		Timeout: 3 * time.Second,
+	}
+	got := runCheck(t, f, m)
+	if !got.PathDead {
+		t.Fatalf("zero-reply timeout not marked path-dead: %+v", got)
+	}
+	if !strings.Contains(got.Reason, "no device reachable") {
+		t.Fatalf("reason = %q, want %q", got.Reason, "no device reachable")
+	}
+}

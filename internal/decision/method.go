@@ -25,6 +25,14 @@ type Result struct {
 	Legitimate bool
 	Reason     string
 	At         time.Time // simulated completion time
+
+	// PathDead marks a verdict produced without evidence because the
+	// query path itself failed — every push send was refused, or the
+	// query timed out with no device ever replying. Legitimate is
+	// false in that case (the method has no grounds to pass anyone);
+	// the guard's DegradedPolicy decides whether held traffic is
+	// released or blocked anyway.
+	PathDead bool
 }
 
 // Method checks the legitimacy of a voice command. Implementations

@@ -22,6 +22,10 @@ var (
 	mRoundTrip      = metrics.NewHistogram("decision_roundtrip_seconds")
 	mFloorOverrides = metrics.NewCounter("decision_floor_overrides_total")
 	mFloorTraces    = metrics.NewCounter("decision_floor_traces_total")
+	mPathDead       = metrics.NewCounter("decision_path_dead_total")
+	mUnknownReplies = metrics.NewCounter("decision_unknown_replies_total")
+	mDupReplies     = metrics.NewCounter("decision_duplicate_replies_total")
+	mCorruptReplies = metrics.NewCounter("decision_corrupt_replies_total")
 )
 
 // DeviceConfig registers one legitimate user's device with the RSSI
@@ -95,12 +99,16 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 
 	var (
 		decided bool
-		pending = len(ids)
+		replied = make(map[string]bool, len(ids))
+		corrupt int
 		finish  = func(r Result) {
 			if decided {
 				return
 			}
 			decided = true
+			if r.PathDead {
+				mPathDead.Inc()
+			}
 			mRoundTrip.Observe(r.At.Sub(req.At))
 			done(r)
 		}
@@ -110,19 +118,67 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 	timeoutEv := m.Clock.After(timeout, func() {
 		mQueryTimeouts.Inc()
 		tr.Record(trace.Event(req.Command, trace.StageDecision, "query_timeout", m.Clock.Now(),
-			trace.Duration("timeout", timeout)))
-		finish(Result{
+			trace.Duration("timeout", timeout),
+			trace.Int("replies", len(replied)),
+			trace.Int("devices", len(ids))))
+		// A timeout with partial replies is the normal "nobody was
+		// nearby" outcome; a timeout with zero replies means no device
+		// was reachable at all, so the verdict carries no evidence and
+		// the guard's degraded policy applies.
+		r := Result{
 			Legitimate: false,
-			Reason:     "query timeout with no passing device",
+			Reason:     fmt.Sprintf("query timeout with partial replies (%d/%d)", len(replied), len(ids)),
 			At:         m.Clock.Now(),
-		})
+		}
+		if len(replied) == 0 {
+			r.Reason = "query timeout: no device reachable"
+			r.PathDead = true
+		}
+		finish(r)
 	})
 
-	err := m.Broker.RequestRSSI(ids, m.Adv, func(r push.Reply) {
+	err := m.Broker.RequestWith(ids, m.Adv, func(r push.Reply) {
 		if decided {
+			// A reply racing the timeout at the same simulated instant
+			// (or arriving after it) must not produce a second verdict
+			// or mutate tracker state.
 			return
 		}
-		d := cfg[r.DeviceID]
+		d, ok := cfg[r.DeviceID]
+		if !ok {
+			// A reply from a device this query never asked about — a
+			// stale or misrouted push — carries no calibrated
+			// threshold and must not vote.
+			mUnknownReplies.Inc()
+			tr.Record(trace.Event(req.Command, trace.StageDecision, "unknown_reply", r.At,
+				trace.String("device", r.DeviceID)))
+			return
+		}
+		if replied[r.DeviceID] {
+			// At-least-once push delivery can duplicate a reply; the
+			// first one already voted. Without this, a duplicate would
+			// double-decrement the pending count and fire the "no
+			// device near" verdict while a device is still scanning.
+			mDupReplies.Inc()
+			tr.Record(trace.Event(req.Command, trace.StageDecision, "duplicate_reply", r.At,
+				trace.String("device", r.DeviceID)))
+			return
+		}
+		replied[r.DeviceID] = true
+		if r.Corrupt {
+			// A garbled reading may vote nobody legitimate and must
+			// not touch the floor tracker — but the device did answer,
+			// so it still counts toward the reply tally.
+			corrupt++
+			mCorruptReplies.Inc()
+			tr.Record(trace.Event(req.Command, trace.StageDecision, "corrupt_reply", r.At,
+				trace.String("device", r.DeviceID)))
+			if len(replied) == len(ids) {
+				timeoutEv.Cancel()
+				finish(noPassResult(r.At, len(replied), corrupt))
+			}
+			return
+		}
 		pass := r.Reading.RSSI >= d.Threshold
 		if pass && d.Tracker != nil && !d.Tracker.SameFloorAsSpeaker() {
 			if d.FloorCeiling != 0 && r.Reading.RSSI > d.FloorCeiling {
@@ -159,15 +215,31 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 			})
 			return
 		}
-		pending--
-		if pending == 0 {
+		if len(replied) == len(ids) {
 			timeoutEv.Cancel()
+			finish(noPassResult(r.At, len(replied), corrupt))
+		}
+	}, push.RequestOpts{
+		Command: req.Command,
+		Done: func(out push.Outcome) {
+			if decided || out.Accepted > 0 {
+				return
+			}
+			// Every send failed observably (broker outage, drops past
+			// the re-push cap): the query path is known-dead, so
+			// report it now instead of sitting out the timeout.
+			timeoutEv.Cancel()
+			at := m.Clock.Now()
+			tr.Record(trace.Event(req.Command, trace.StageDecision, "path_dead", at,
+				trace.Int("failed_sends", out.Failed),
+				trace.Int("devices", out.Requested)))
 			finish(Result{
 				Legitimate: false,
-				Reason:     "no device near the speaker",
-				At:         r.At,
+				Reason:     fmt.Sprintf("push path dead: all %d sends failed", out.Failed),
+				At:         at,
+				PathDead:   true,
 			})
-		}
+		},
 	})
 	if err != nil {
 		timeoutEv.Cancel()
@@ -177,6 +249,16 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 			At:         m.Clock.Now(),
 		})
 	}
+}
+
+// noPassResult is the verdict once every queried device has replied
+// and none passed.
+func noPassResult(at time.Time, replies, corrupt int) Result {
+	reason := "no device near the speaker"
+	if corrupt > 0 {
+		reason = fmt.Sprintf("no device near the speaker (%d/%d replies corrupted)", corrupt, replies)
+	}
+	return Result{Legitimate: false, Reason: reason, At: at}
 }
 
 // CalibrationInterval is the walk-the-room app's sampling period.

@@ -1,0 +1,174 @@
+// Package faults is the seeded fault-injection layer for the
+// Decision Module's query path. The paper's Fig. 7 argument — holding
+// voice-command traffic is safe because the RSSI query resolves
+// quickly — only holds while the push channel behaves; this package
+// makes the misbehaving cases (lost pushes, duplicated or corrupted
+// replies, delivery delay spikes, device offline windows, whole-broker
+// outages) first-class, deterministic simulation inputs, so
+// degradation behaviour is a regression-tested table instead of
+// folklore.
+//
+// A Profile describes what goes wrong; a Plan binds it to the
+// simulated clock and a seeded rng stream, so the same seed replays
+// the same faults at the same instants. All Plan predicates are
+// nil-receiver safe: a nil *Plan injects nothing, letting callers
+// probe it unconditionally on the hot path.
+package faults
+
+import (
+	"time"
+
+	"voiceguard/internal/rng"
+	"voiceguard/internal/simtime"
+)
+
+// Profile describes one fault regime on the push channel. The zero
+// value injects nothing.
+type Profile struct {
+	Name string
+
+	// Drop is the probability one push send attempt is lost in
+	// transit (the broker observes the send failure and may retry).
+	Drop float64
+
+	// Duplicate is the probability a device's reply is delivered
+	// twice — the at-least-once semantics of real push backends.
+	Duplicate float64
+
+	// DelayProb is the probability a push delivery suffers a latency
+	// spike of Delay on top of the normal FCM model.
+	DelayProb float64
+	Delay     time.Duration
+
+	// Corrupt is the probability a reply arrives garbled (integrity
+	// check fails); the Decision Module must never let such a reply
+	// vote a command legitimate.
+	Corrupt float64
+
+	// OfflineEvery/OfflineFor cut recurring device offline windows:
+	// every OfflineEvery of simulated time, devices are unreachable
+	// for OfflineFor. The push service still accepts the push, so the
+	// guard cannot observe the window directly — only the silence.
+	OfflineEvery time.Duration
+	OfflineFor   time.Duration
+
+	// OutageEvery/OutageFor cut recurring broker outage windows
+	// during which the push service refuses sends outright. Unlike
+	// offline windows, the broker observes the refusal and can retry
+	// or report the path dead.
+	OutageEvery time.Duration
+	OutageFor   time.Duration
+}
+
+// None is the clean-channel baseline profile.
+func None() Profile { return Profile{Name: "none"} }
+
+// Profiles returns the standard FaultStudy regime set: the clean
+// baseline followed by one profile per failure mode.
+func Profiles() []Profile {
+	return []Profile{
+		None(),
+		{Name: "drop20", Drop: 0.20},
+		{Name: "dup20", Duplicate: 0.20},
+		{Name: "delay-spike", DelayProb: 0.25, Delay: 3 * time.Second},
+		{Name: "offline-window", OfflineEvery: 4 * time.Hour, OfflineFor: 20 * time.Minute},
+		{Name: "broker-outage", OutageEvery: 6 * time.Hour, OutageFor: 15 * time.Minute},
+		{Name: "corrupt20", Corrupt: 0.20},
+	}
+}
+
+// ProfileNames returns the names of the standard profile set, for CLI
+// flag validation.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName returns the standard profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Plan is a Profile armed with a clock and a seeded stream. The
+// probabilistic predicates consume the stream in call order, which is
+// deterministic because the simulation is single-threaded on the
+// event loop; the window predicates are pure functions of the clock.
+type Plan struct {
+	profile Profile
+	clock   simtime.Clock
+	src     *rng.Source
+	epoch   time.Time
+}
+
+// NewPlan binds a profile to the simulated clock and an rng stream.
+// The plan's window phases are anchored at the clock's current time.
+func NewPlan(p Profile, clock simtime.Clock, src *rng.Source) *Plan {
+	return &Plan{profile: p, clock: clock, src: src, epoch: clock.Now()}
+}
+
+// Profile returns the plan's profile (zero Profile for a nil plan).
+func (p *Plan) Profile() Profile {
+	if p == nil {
+		return Profile{}
+	}
+	return p.profile
+}
+
+// DropPush reports whether this push send attempt is lost in transit.
+func (p *Plan) DropPush() bool {
+	return p != nil && p.profile.Drop > 0 && p.src.Bool(p.profile.Drop)
+}
+
+// DuplicateReply reports whether this reply is delivered twice.
+func (p *Plan) DuplicateReply() bool {
+	return p != nil && p.profile.Duplicate > 0 && p.src.Bool(p.profile.Duplicate)
+}
+
+// CorruptReply reports whether this reply arrives garbled.
+func (p *Plan) CorruptReply() bool {
+	return p != nil && p.profile.Corrupt > 0 && p.src.Bool(p.profile.Corrupt)
+}
+
+// ExtraDelay returns the delivery latency spike for this push, or 0.
+func (p *Plan) ExtraDelay() time.Duration {
+	if p == nil || p.profile.DelayProb <= 0 || !p.src.Bool(p.profile.DelayProb) {
+		return 0
+	}
+	return p.profile.Delay
+}
+
+// DeviceOffline reports whether devices sit in an offline window at
+// the current simulated instant.
+func (p *Plan) DeviceOffline() bool {
+	if p == nil {
+		return false
+	}
+	return inWindow(p.clock.Now().Sub(p.epoch), p.profile.OfflineEvery, p.profile.OfflineFor)
+}
+
+// BrokerDown reports whether the push broker sits in an outage window
+// at the current simulated instant.
+func (p *Plan) BrokerDown() bool {
+	if p == nil {
+		return false
+	}
+	return inWindow(p.clock.Now().Sub(p.epoch), p.profile.OutageEvery, p.profile.OutageFor)
+}
+
+// inWindow reports whether elapsed falls inside a recurring window of
+// length dur that reopens every period.
+func inWindow(elapsed, period, dur time.Duration) bool {
+	if period <= 0 || dur <= 0 || elapsed < 0 {
+		return false
+	}
+	return elapsed%period < dur
+}

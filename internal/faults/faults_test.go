@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"voiceguard/internal/rng"
+	"voiceguard/internal/simtime"
+)
+
+var epoch = time.Date(2023, 3, 1, 9, 0, 0, 0, time.UTC)
+
+func newPlan(t *testing.T, p Profile, seed int64) (*Plan, *simtime.Sim) {
+	t.Helper()
+	clock := simtime.NewSim(epoch)
+	return NewPlan(p, clock, rng.New(seed).Split("faults")), clock
+}
+
+// A nil plan must be safe to probe from every predicate and inject
+// nothing — callers on the hot path use it unconditionally.
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if p.DropPush() || p.DuplicateReply() || p.CorruptReply() || p.DeviceOffline() || p.BrokerDown() {
+		t.Fatal("nil plan injected a fault")
+	}
+	if d := p.ExtraDelay(); d != 0 {
+		t.Fatalf("nil plan delay = %v, want 0", d)
+	}
+	if got := p.Profile(); got != (Profile{}) {
+		t.Fatalf("nil plan profile = %+v, want zero", got)
+	}
+}
+
+// The zero profile likewise injects nothing and must not consume the
+// rng stream (so adding a no-op plan cannot shift downstream draws).
+func TestZeroProfileConsumesNoRandomness(t *testing.T) {
+	src := rng.New(7).Split("faults")
+	clock := simtime.NewSim(epoch)
+	p := NewPlan(Profile{}, clock, src)
+	for i := 0; i < 100; i++ {
+		if p.DropPush() || p.DuplicateReply() || p.CorruptReply() || p.ExtraDelay() != 0 {
+			t.Fatal("zero profile injected a fault")
+		}
+	}
+	want := rng.New(7).Split("faults").Float64()
+	if got := src.Float64(); got != want {
+		t.Fatalf("zero profile consumed randomness: next draw %v, want %v", got, want)
+	}
+}
+
+// Same profile + same seed must replay the same fault decisions.
+func TestPlanDeterministicForSeed(t *testing.T) {
+	p := Profile{Name: "mix", Drop: 0.3, Duplicate: 0.2, DelayProb: 0.25, Delay: 2 * time.Second, Corrupt: 0.1}
+	type draw struct {
+		drop, dup, corrupt bool
+		delay              time.Duration
+	}
+	sample := func() []draw {
+		plan, _ := newPlan(t, p, 42)
+		out := make([]draw, 200)
+		for i := range out {
+			out[i] = draw{plan.DropPush(), plan.DuplicateReply(), plan.CorruptReply(), plan.ExtraDelay()}
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Offline and outage windows are pure functions of the simulated
+// clock: inside the window at the epoch, closed after For elapses,
+// reopening every Every.
+func TestRecurringWindows(t *testing.T) {
+	p := Profile{
+		OfflineEvery: 4 * time.Hour, OfflineFor: 20 * time.Minute,
+		OutageEvery: 6 * time.Hour, OutageFor: 15 * time.Minute,
+	}
+	plan, clock := newPlan(t, p, 1)
+
+	cases := []struct {
+		at              time.Duration
+		offline, outage bool
+	}{
+		{0, true, true},
+		{10 * time.Minute, true, true},
+		{16 * time.Minute, true, false},
+		{30 * time.Minute, false, false},
+		{4 * time.Hour, true, false},
+		{4*time.Hour + 25*time.Minute, false, false},
+		{6 * time.Hour, false, true},
+		{6*time.Hour + 20*time.Minute, false, false},
+		{8 * time.Hour, true, false},
+		{12 * time.Hour, true, true},
+	}
+	for _, c := range cases {
+		clock.AdvanceTo(epoch.Add(c.at))
+		if got := plan.DeviceOffline(); got != c.offline {
+			t.Errorf("t=%v DeviceOffline = %v, want %v", c.at, got, c.offline)
+		}
+		if got := plan.BrokerDown(); got != c.outage {
+			t.Errorf("t=%v BrokerDown = %v, want %v", c.at, got, c.outage)
+		}
+	}
+}
+
+// Probabilities must land near their nominal rates over many draws —
+// the predicates really consult the profile, not a coin.
+func TestRatesApproximateProfile(t *testing.T) {
+	p := Profile{Drop: 0.3, Duplicate: 0.15, Corrupt: 0.05, DelayProb: 0.5, Delay: time.Second}
+	plan, _ := newPlan(t, p, 9)
+	const n = 20000
+	var drops, dups, corrupts, delays int
+	for i := 0; i < n; i++ {
+		if plan.DropPush() {
+			drops++
+		}
+		if plan.DuplicateReply() {
+			dups++
+		}
+		if plan.CorruptReply() {
+			corrupts++
+		}
+		if plan.ExtraDelay() > 0 {
+			delays++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		rate := float64(got) / n
+		if rate < want-0.02 || rate > want+0.02 {
+			t.Errorf("%s rate = %.3f, want ≈ %.2f", name, rate, want)
+		}
+	}
+	check("drop", drops, p.Drop)
+	check("duplicate", dups, p.Duplicate)
+	check("corrupt", corrupts, p.Corrupt)
+	check("delay", delays, p.DelayProb)
+}
+
+// The standard study set has unique names, starts with the clean
+// baseline, and every profile resolves through ByName.
+func TestStandardProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 4 {
+		t.Fatalf("want at least 4 standard profiles, got %d", len(ps))
+	}
+	if ps[0].Name != "none" {
+		t.Fatalf("first profile = %q, want the %q baseline", ps[0].Name, "none")
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, ok := ByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("ByName(%q) = %+v, %v", p.Name, got, ok)
+		}
+	}
+	if _, ok := ByName("no-such-profile"); ok {
+		t.Fatal("ByName accepted an unknown name")
+	}
+	names := ProfileNames()
+	if len(names) != len(ps) {
+		t.Fatalf("ProfileNames length %d, want %d", len(names), len(ps))
+	}
+}

@@ -26,14 +26,40 @@ import (
 // Guard-level metrics: spike and command volume, verdict split, and
 // the hold-duration distribution (the paper's Fig. 6/7 scale).
 var (
-	mSpikes        = metrics.NewCounter("guard_spikes_total")
-	mCommands      = metrics.NewCounter("guard_commands_recognized_total")
-	mAllowed       = metrics.NewCounter("guard_verdict_allow_total")
-	mBlocked       = metrics.NewCounter("guard_verdict_block_total")
-	mNonCommands   = metrics.NewCounter("guard_noncommand_spikes_total")
-	mHoldSeconds   = metrics.NewHistogram("guard_hold_seconds")
-	mQueriesQueued = metrics.NewCounter("guard_queries_queued_total")
+	mSpikes         = metrics.NewCounter("guard_spikes_total")
+	mCommands       = metrics.NewCounter("guard_commands_recognized_total")
+	mAllowed        = metrics.NewCounter("guard_verdict_allow_total")
+	mBlocked        = metrics.NewCounter("guard_verdict_block_total")
+	mNonCommands    = metrics.NewCounter("guard_noncommand_spikes_total")
+	mHoldSeconds    = metrics.NewHistogram("guard_hold_seconds")
+	mQueriesQueued  = metrics.NewCounter("guard_queries_queued_total")
+	mDegraded       = metrics.NewCounter("guard_degraded_verdicts_total")
+	mUnknownSpeaker = metrics.NewCounter("guard_router_unknown_speaker_total")
 )
+
+// DegradedPolicy decides what happens to held traffic when the
+// Decision Module reports the query path known-dead (Result.PathDead)
+// instead of delivering an evidence-based verdict.
+type DegradedPolicy int
+
+const (
+	// DegradedFailClosed blocks held traffic when the query path is
+	// dead — the injection-resistant default: an attacker who can take
+	// the push channel down must not gain a free pass.
+	DegradedFailClosed DegradedPolicy = iota
+	// DegradedFailOpen releases held traffic when the query path is
+	// dead — the availability-first choice for speakers whose owners
+	// prefer a working assistant over blocking during outages.
+	DegradedFailOpen
+)
+
+// String names the policy for traces and reports.
+func (p DegradedPolicy) String() string {
+	if p == DegradedFailOpen {
+		return "fail-open"
+	}
+	return "fail-closed"
+}
 
 // EventKind classifies a completed traffic-handling episode.
 type EventKind int
@@ -58,6 +84,7 @@ type Event struct {
 	DecisionAt  time.Time       // when the verdict arrived (EventCommand)
 	Verdict     decision.Result // EventCommand only
 	Released    bool            // held traffic forwarded to the cloud
+	Degraded    bool            // Released chosen by DegradedPolicy, not evidence
 	HeldPackets int
 }
 
@@ -102,6 +129,10 @@ type Guard struct {
 	// on-demand flow setup makes its queries slightly slower, matching
 	// Fig. 7's ordering).
 	DispatchDelay time.Duration
+
+	// Degraded decides held traffic when the Decision Module reports
+	// the query path dead (zero value: fail-closed).
+	Degraded DegradedPolicy
 
 	speaker string
 
@@ -256,8 +287,19 @@ func (g *Guard) startQuery(ep *episode) {
 			if g.cur == ep {
 				g.cur = nil
 			}
+			released := r.Legitimate
+			if r.PathDead {
+				// No evidence arrived — the query path itself failed,
+				// so the configured degraded policy decides instead.
+				released = g.Degraded == DegradedFailOpen
+				mDegraded.Inc()
+				g.tracer().Record(trace.Event(ep.id, trace.StageGuard, "degraded_verdict", r.At,
+					trace.String("policy", g.Degraded.String()),
+					trace.Bool("released", released),
+					trace.String("reason", r.Reason)))
+			}
 			outcome := trace.OutcomeDrop
-			if r.Legitimate {
+			if released {
 				outcome = trace.OutcomeRelease
 			}
 			g.tracer().Record(trace.Span{
@@ -278,7 +320,8 @@ func (g *Guard) startQuery(ep *episode) {
 				QueryStart:  queryStart,
 				DecisionAt:  r.At,
 				Verdict:     r,
-				Released:    r.Legitimate,
+				Released:    released,
+				Degraded:    r.PathDead,
 				HeldPackets: ep.heldPackets,
 			})
 			if len(g.queue) > 0 {
@@ -353,11 +396,20 @@ func (g *Guard) record(ev Event) {
 // speaker in use by its unique IP (§V).
 type Router struct {
 	guards map[string]*Guard
+
+	// Tracer receives the router's diagnostics (nil uses
+	// trace.Default).
+	Tracer *trace.Tracer
+
+	// unknownTraced remembers which unknown source IPs already emitted
+	// a trace event, so a misconfigured speaker surfaces once per IP
+	// instead of flooding the flight recorder per packet.
+	unknownTraced map[string]bool
 }
 
 // NewRouter returns an empty router.
 func NewRouter() *Router {
-	return &Router{guards: make(map[string]*Guard)}
+	return &Router{guards: make(map[string]*Guard), unknownTraced: make(map[string]bool)}
 }
 
 // Add registers a guard for a speaker IP.
@@ -369,10 +421,32 @@ func (r *Router) Guard(speakerIP string) (*Guard, bool) {
 	return g, ok
 }
 
+// SetDegraded overrides the degraded policy for one speaker — the
+// per-speaker knob of the deployment-wide fail-open/fail-closed
+// choice. Reports whether the speaker IP is registered.
+func (r *Router) SetDegraded(speakerIP string, p DegradedPolicy) bool {
+	g, ok := r.guards[speakerIP]
+	if ok {
+		g.Degraded = p
+	}
+	return ok
+}
+
+// SetDegradedAll sets the degraded policy on every registered guard;
+// follow with SetDegraded for per-speaker overrides.
+func (r *Router) SetDegradedAll(p DegradedPolicy) {
+	for _, g := range r.guards {
+		g.Degraded = p
+	}
+}
+
 // Feed routes one packet to the guard of its source speaker, if any.
-// Packets from unknown hosts (phones, laptops) are ignored, but every
-// registered guard's recognizer still sees DNS responses addressed to
-// its speaker.
+// Every registered guard's recognizer still sees DNS responses
+// addressed to its speaker. Packets from unknown hosts (phones,
+// laptops — but also a speaker whose IP was misconfigured) are
+// counted and traced once per source IP, so a silently unguarded
+// speaker shows up in metrics instead of as invisible false
+// negatives.
 func (r *Router) Feed(p pcap.Packet) {
 	if g, ok := r.guards[p.SrcIP]; ok {
 		g.Feed(p)
@@ -382,5 +456,13 @@ func (r *Router) Feed(p pcap.Packet) {
 	// guard so its tracker can learn new cloud addresses.
 	if g, ok := r.guards[p.DstIP]; ok {
 		g.Feed(p)
+		return
+	}
+	mUnknownSpeaker.Inc()
+	if !r.unknownTraced[p.SrcIP] {
+		r.unknownTraced[p.SrcIP] = true
+		trace.Or(r.Tracer).Record(trace.Event(0, trace.StageGuard, "unknown_speaker", p.Time,
+			trace.String("src_ip", p.SrcIP),
+			trace.String("dst_ip", p.DstIP)))
 	}
 }

@@ -41,6 +41,7 @@ var (
 	mHoldQueueBytes  = metrics.NewGauge("proxy_hold_queue_bytes")
 	mQueueOverflows  = metrics.NewCounter("proxy_hold_queue_overflows_total")
 	mUpstreamDialErr = metrics.NewCounter("proxy_upstream_dial_errors_total")
+	mHoldExpired     = metrics.NewCounter("proxy_hold_deadline_expired_total")
 )
 
 // ErrQueueOverflow is returned when a hold accumulates more bytes
@@ -102,8 +103,10 @@ type Option interface {
 }
 
 type options struct {
-	tap          Tap
-	maxHoldBytes int
+	tap            Tap
+	maxHoldBytes   int
+	holdDeadline   time.Duration
+	deadlineAction DeadlineAction
 }
 
 type tapOption Tap
@@ -119,6 +122,46 @@ func (m maxHoldOption) apply(o *options) { o.maxHoldBytes = int(m) }
 
 // WithMaxHoldBytes bounds per-session hold buffering.
 func WithMaxHoldBytes(n int) Option { return maxHoldOption(n) }
+
+// DeadlineAction selects what happens to a session's held bytes when
+// the hold deadline expires without a verdict.
+type DeadlineAction int
+
+const (
+	// DeadlineRelease forwards the held bytes upstream — fail-open:
+	// the command goes through rather than wedging the speaker.
+	DeadlineRelease DeadlineAction = iota
+	// DeadlineDrop discards the held bytes — fail-closed: an attacker
+	// who can wedge the decision path gets a broken session, not a
+	// free pass.
+	DeadlineDrop
+)
+
+// String names the action for traces and reports.
+func (a DeadlineAction) String() string {
+	if a == DeadlineDrop {
+		return "drop"
+	}
+	return "release"
+}
+
+type holdDeadlineOption struct {
+	d      time.Duration
+	action DeadlineAction
+}
+
+func (h holdDeadlineOption) apply(o *options) {
+	o.holdDeadline = h.d
+	o.deadlineAction = h.action
+}
+
+// WithHoldDeadline bounds every hold to d of wall-clock time: if no
+// Release or Drop arrives by then — a crashed or wedged decision
+// callback — the session takes the given action itself, so held
+// traffic can never be stuck forever. d <= 0 disables the deadline.
+func WithHoldDeadline(d time.Duration, action DeadlineAction) Option {
+	return holdDeadlineOption{d: d, action: action}
+}
 
 // NewTCP starts a transparent proxy listening on listenAddr (use
 // "127.0.0.1:0" for an ephemeral port) that connects upstream via
@@ -140,7 +183,7 @@ func NewTCP(listenAddr string, dial DialFunc, opts ...Option) (*TCP, error) {
 		sessions: make(map[*Session]struct{}),
 	}
 	p.wg.Add(1)
-	go p.acceptLoop(o.maxHoldBytes)
+	go p.acceptLoop(o)
 	return p, nil
 }
 
@@ -177,7 +220,7 @@ func (p *TCP) Sessions() []*Session {
 	return out
 }
 
-func (p *TCP) acceptLoop(maxHoldBytes int) {
+func (p *TCP) acceptLoop(o options) {
 	defer p.wg.Done()
 	for {
 		client, err := p.lis.Accept()
@@ -194,10 +237,12 @@ func (p *TCP) acceptLoop(maxHoldBytes int) {
 			continue
 		}
 		s := &Session{
-			client:       client,
-			server:       server,
-			maxHoldBytes: maxHoldBytes,
-			done:         make(chan struct{}),
+			client:         client,
+			server:         server,
+			maxHoldBytes:   o.maxHoldBytes,
+			holdDeadline:   o.holdDeadline,
+			deadlineAction: o.deadlineAction,
+			done:           make(chan struct{}),
 		}
 		p.mu.Lock()
 		if p.closed {
@@ -235,11 +280,14 @@ type Session struct {
 	client net.Conn
 	server net.Conn
 
-	maxHoldBytes int
+	maxHoldBytes   int
+	holdDeadline   time.Duration
+	deadlineAction DeadlineAction
 
 	mu        sync.Mutex
 	holding   bool
 	holdStart time.Time // wall-clock moment the active hold began
+	holdTimer *time.Timer
 	cmd       trace.CommandID
 	queue     [][]byte
 	queued    int
@@ -284,15 +332,40 @@ func (s *Session) Done() <-chan struct{} { return s.done }
 
 // Hold starts buffering client-to-server bytes. If called from a Tap,
 // the chunk being observed is the first held chunk. Hold during an
-// existing hold is a no-op.
+// existing hold is a no-op (the deadline stays anchored at the first
+// Hold).
 func (s *Session) Hold() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.holding {
 		mHolds.Inc()
 		s.holdStart = time.Now()
+		if s.holdDeadline > 0 {
+			s.holdTimer = time.AfterFunc(s.holdDeadline, s.expireHold)
+		}
 	}
 	s.holding = true
+}
+
+// expireHold fires when a hold outlives the deadline with no verdict:
+// the decision callback crashed, wedged, or was never going to come.
+// The session resolves the hold itself with the configured action.
+func (s *Session) expireHold() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.holding {
+		return // the verdict won the race; nothing to expire
+	}
+	mHoldExpired.Inc()
+	trace.Default.Record(trace.Event(s.cmd, trace.StageProxy, "hold_deadline", time.Now(),
+		trace.Duration("deadline", s.holdDeadline),
+		trace.String("action", s.deadlineAction.String()),
+		trace.Int("bytes", s.queued)))
+	if s.deadlineAction == DeadlineDrop {
+		s.dropLocked()
+		return
+	}
+	_ = s.releaseLocked()
 }
 
 // Holding reports whether a hold is active.
@@ -331,6 +404,10 @@ func (s *Session) DroppedTotal() int {
 func (s *Session) Release() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.releaseLocked()
+}
+
+func (s *Session) releaseLocked() error {
 	mReleases.Inc()
 	mHoldQueueBytes.Add(-int64(s.queued))
 	wasHolding, flushed := s.holding, s.queued
@@ -358,6 +435,10 @@ func (s *Session) recycleQueueLocked() {
 	s.queue = s.queue[:0]
 	s.queued = 0
 	s.holding = false
+	if s.holdTimer != nil {
+		s.holdTimer.Stop()
+		s.holdTimer = nil
+	}
 }
 
 // Drop ends the hold, discarding the queued bytes. Fig. 4 case III:
@@ -367,6 +448,10 @@ func (s *Session) recycleQueueLocked() {
 func (s *Session) Drop() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.dropLocked()
+}
+
+func (s *Session) dropLocked() int {
 	mDrops.Inc()
 	mHoldQueueBytes.Add(-int64(s.queued))
 	n := s.queued

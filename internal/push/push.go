@@ -4,26 +4,43 @@
 // scans the speaker's Bluetooth RSSI, and the result returns to the
 // guard. Each leg contributes latency; together they produce the
 // Fig. 7 delay distribution.
+//
+// The channel is not assumed healthy: an injectable faults.Plan can
+// drop sends, take the broker down, hold devices offline, delay
+// deliveries, and duplicate or corrupt replies. Observable send
+// failures (drops, broker outages) are retried with exponential
+// backoff up to a re-push cap; unobservable ones (a push accepted for
+// an offline device) black-hole exactly like real FCM, leaving the
+// Decision Module's timeout as the only signal.
 package push
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"voiceguard/internal/ble"
+	"voiceguard/internal/faults"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/rng"
 	"voiceguard/internal/simtime"
+	"voiceguard/internal/trace"
 )
 
-// Push-channel metrics: per-device push volume and the full
+// Push-channel metrics: per-device push volume, the full
 // push→scan→reply round trip on the simulated clock (Fig. 7's
-// delay-decomposition scale).
+// delay-decomposition scale), and the failure-path counters the
+// fault-injection layer exercises.
 var (
 	mPushes        = metrics.NewCounter("push_requests_total")
 	mPushOffline   = metrics.NewCounter("push_offline_devices_total")
 	mPushRoundTrip = metrics.NewHistogram("push_roundtrip_seconds")
+	mPushRetries   = metrics.NewCounter("push_retries_total")
+	mPushFailures  = metrics.NewCounter("push_send_failures_total")
+	mPushStale     = metrics.NewCounter("push_stale_replies_total")
+	mPushDupes     = metrics.NewCounter("push_duplicate_replies_total")
+	mPushCorrupt   = metrics.NewCounter("push_corrupt_replies_total")
 )
 
 // Latency model parameters (seconds). Push delivery is log-normal
@@ -38,6 +55,14 @@ const (
 	wakeMaxSec  = 0.30
 	replyMinSec = 0.04
 	replyMaxSec = 0.12
+)
+
+// Retry policy defaults: an observably failed send (drop, broker
+// outage) is re-pushed after RetryBase << attempt, at most MaxRetries
+// times, before the target counts as unreachable.
+const (
+	DefaultMaxRetries = 3
+	DefaultRetryBase  = 400 * time.Millisecond
 )
 
 // Device is a registered owner device: the scanner doing the
@@ -59,28 +84,99 @@ type Reply struct {
 	DeviceID string
 	Reading  ble.Reading
 	At       time.Time // simulated arrival time at the guard
+
+	// Corrupt marks a reply whose integrity check failed in transit;
+	// the reading must not be trusted to vote a command legitimate.
+	Corrupt bool
+}
+
+// RequestOpts carries the optional per-query parameters of a group
+// push.
+type RequestOpts struct {
+	// Command tags the query's trace events with the episode it
+	// serves (zero for ambient queries).
+	Command trace.CommandID
+
+	// Done, when non-nil, is invoked exactly once — at the simulated
+	// instant the last target's send resolves (accepted by the push
+	// service, or failed after the re-push cap) — with the group
+	// outcome. Replies may still arrive after Done: acceptance is a
+	// send-time fact, delivery is not.
+	Done func(Outcome)
+}
+
+// Outcome is the send-phase result of one group push.
+type Outcome struct {
+	Requested int // devices targeted
+	Accepted  int // sends the push service acknowledged (including offline black holes)
+	Failed    int // sends that exhausted the re-push cap
 }
 
 // Broker routes measurement requests to registered devices over the
-// simulated push channel.
+// simulated push channel. All methods are safe for concurrent use;
+// internally the broker serialises its device table, rng stream, and
+// event scheduling under one mutex, and never invokes caller
+// callbacks while holding it.
 type Broker struct {
 	clock *simtime.Sim
-	src   *rng.Source
 
-	devices map[string]*Device
+	mu         sync.Mutex
+	src        *rng.Source
+	devices    map[string]*Device
+	plan       *faults.Plan
+	tracer     *trace.Tracer
+	maxRetries int
+	retryBase  time.Duration
 }
 
-// NewBroker returns a broker on the simulated clock.
+// NewBroker returns a broker on the simulated clock with the default
+// retry policy and a clean (fault-free) channel.
 func NewBroker(clock *simtime.Sim, src *rng.Source) *Broker {
 	return &Broker{
-		clock:   clock,
-		src:     src,
-		devices: make(map[string]*Device),
+		clock:      clock,
+		src:        src,
+		devices:    make(map[string]*Device),
+		maxRetries: DefaultMaxRetries,
+		retryBase:  DefaultRetryBase,
 	}
 }
 
+// SetFaults installs the fault plan for subsequent sends. A nil plan
+// restores the clean channel.
+func (b *Broker) SetFaults(p *faults.Plan) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.plan = p
+}
+
+// SetRetry configures the re-push policy: at most maxRetries
+// re-sends per target, the i-th delayed by base << i. maxRetries 0
+// disables retries; base <= 0 keeps the default.
+func (b *Broker) SetRetry(maxRetries int, base time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	b.maxRetries = maxRetries
+	b.retryBase = base
+}
+
+// SetTracer directs the broker's push-stage events to t (nil uses
+// trace.Default).
+func (b *Broker) SetTracer(t *trace.Tracer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tracer = t
+}
+
 // Register adds a device. Registering an existing ID replaces it —
-// VoiceGuard's device list is owner-managed (§IV-C).
+// VoiceGuard's device list is owner-managed (§IV-C) — and any replies
+// still in flight for the replaced registration are dropped as stale
+// at delivery time.
 func (b *Broker) Register(d *Device) error {
 	if d == nil || d.ID == "" {
 		return fmt.Errorf("push: device must have an ID")
@@ -88,15 +184,25 @@ func (b *Broker) Register(d *Device) error {
 	if d.Scanner == nil || d.Position == nil {
 		return fmt.Errorf("push: device %q needs a scanner and a position callback", d.ID)
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.devices[d.ID] = d
 	return nil
 }
 
-// Unregister removes a device.
-func (b *Broker) Unregister(id string) { delete(b.devices, id) }
+// Unregister removes a device. In-flight pushes to it are abandoned:
+// their replies are dropped at delivery time, so a removed device can
+// never vote on a verdict issued while it was being removed.
+func (b *Broker) Unregister(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.devices, id)
+}
 
 // Devices returns the registered device IDs.
 func (b *Broker) Devices() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make([]string, 0, len(b.devices))
 	for id := range b.devices {
 		out = append(out, id)
@@ -110,36 +216,179 @@ func (b *Broker) Devices() []string {
 // time. Unknown device IDs are reported as an error before any push
 // is sent.
 func (b *Broker) RequestRSSI(ids []string, adv ble.Advertiser, deliver func(Reply)) error {
+	return b.RequestWith(ids, adv, deliver, RequestOpts{})
+}
+
+// group tracks one query's send-phase resolution under the broker
+// mutex.
+type group struct {
+	outcome   Outcome
+	remaining int
+	done      func(Outcome)
+}
+
+// resolveLocked records one target's send resolution and, once the
+// last target resolves, returns the completion callback to invoke
+// after the broker mutex is released (nil otherwise). Callbacks must
+// never run under b.mu: a Done handler typically re-enters the guard,
+// which may start the next queued query and re-lock the broker.
+func (g *group) resolveLocked(accepted bool) func() {
+	if accepted {
+		g.outcome.Accepted++
+	} else {
+		g.outcome.Failed++
+	}
+	g.remaining--
+	if g.remaining > 0 || g.done == nil {
+		return nil
+	}
+	done, out := g.done, g.outcome
+	return func() { done(out) }
+}
+
+// RequestWith is RequestRSSI with per-query options: a command ID for
+// trace events and a send-phase completion callback. See RequestOpts.
+func (b *Broker) RequestWith(ids []string, adv ble.Advertiser, deliver func(Reply), opts RequestOpts) error {
+	b.mu.Lock()
 	targets := make([]*Device, 0, len(ids))
 	for _, id := range ids {
 		d, ok := b.devices[id]
 		if !ok {
+			b.mu.Unlock()
 			return fmt.Errorf("push: unknown device %q", id)
 		}
 		targets = append(targets, d)
 	}
+	g := &group{remaining: len(targets), done: opts.Done, outcome: Outcome{Requested: len(targets)}}
 	now := b.clock.Now()
+	var after []func()
 	for _, d := range targets {
-		d := d
-		mPushes.Inc()
-		if d.Offline {
-			mPushOffline.Inc()
-			continue // accepted by the push service, never delivered
+		if fn := b.sendLocked(g, d, adv, deliver, opts.Command, now, 0); fn != nil {
+			after = append(after, fn)
 		}
-		wakeAt := now.Add(b.pushLatency()).Add(b.uniform(wakeMinSec, wakeMaxSec))
-		b.clock.Schedule(wakeAt, func() {
-			reading := d.Scanner.Measure(adv, d.Position())
-			arriveAt := b.clock.Now().Add(reading.Duration).Add(b.uniform(replyMinSec, replyMaxSec))
-			b.clock.Schedule(arriveAt, func() {
-				mPushRoundTrip.Observe(arriveAt.Sub(now))
-				deliver(Reply{DeviceID: d.ID, Reading: reading, At: arriveAt})
-			})
-		})
+	}
+	if len(targets) == 0 && opts.Done != nil {
+		done, out := opts.Done, g.outcome
+		after = append(after, func() { done(out) })
+	}
+	b.mu.Unlock()
+	for _, fn := range after {
+		fn()
 	}
 	return nil
 }
 
-// pushLatency draws one FCM delivery latency.
+// sendLocked attempts one push to d (attempt 0 is the original send).
+// An observable failure — broker outage or a dropped send — schedules
+// a backoff retry until the re-push cap; acceptance either black-holes
+// (offline device) or schedules the wake→scan→reply chain. Returns
+// the group-completion callback to run after unlocking, or nil.
+func (b *Broker) sendLocked(g *group, d *Device, adv ble.Advertiser, deliver func(Reply), cmd trace.CommandID, reqStart time.Time, attempt int) func() {
+	now := b.clock.Now()
+	tr := trace.Or(b.tracer)
+	if b.plan.BrokerDown() || b.plan.DropPush() {
+		if attempt >= b.maxRetries {
+			mPushFailures.Inc()
+			tr.Record(trace.Event(cmd, trace.StagePush, "push_failed", now,
+				trace.String("device", d.ID),
+				trace.Int("attempts", attempt+1)))
+			return g.resolveLocked(false)
+		}
+		backoff := b.retryBase << attempt
+		mPushRetries.Inc()
+		tr.Record(trace.Event(cmd, trace.StagePush, "push_retry", now,
+			trace.String("device", d.ID),
+			trace.Int("attempt", attempt+1),
+			trace.Duration("backoff", backoff)))
+		b.clock.Schedule(now.Add(backoff), func() {
+			b.mu.Lock()
+			var fn func()
+			if cur, ok := b.devices[d.ID]; !ok || cur != d {
+				// The device was unregistered (or replaced) while the
+				// retry waited: abandon the re-push.
+				fn = g.resolveLocked(false)
+			} else {
+				fn = b.sendLocked(g, d, adv, deliver, cmd, reqStart, attempt+1)
+			}
+			b.mu.Unlock()
+			if fn != nil {
+				fn()
+			}
+		})
+		return nil
+	}
+	// The push service acknowledged the send.
+	mPushes.Inc()
+	if d.Offline || b.plan.DeviceOffline() {
+		// Accepted but never delivered: FCM cannot tell the guard the
+		// device is unreachable, so this is an unobservable black hole.
+		mPushOffline.Inc()
+		return g.resolveLocked(true)
+	}
+	wakeAt := now.Add(b.pushLatency()).Add(b.plan.ExtraDelay()).Add(b.uniform(wakeMinSec, wakeMaxSec))
+	b.clock.Schedule(wakeAt, func() { b.wakeAndScan(d, adv, deliver, cmd, reqStart) })
+	return g.resolveLocked(true)
+}
+
+// wakeAndScan runs at the device's wake instant: re-checks the
+// registration, measures, and schedules the reply uplink (twice under
+// a duplicate fault).
+func (b *Broker) wakeAndScan(d *Device, adv ble.Advertiser, deliver func(Reply), cmd trace.CommandID, reqStart time.Time) {
+	b.mu.Lock()
+	if cur, ok := b.devices[d.ID]; !ok || cur != d {
+		mPushStale.Inc()
+		tr := trace.Or(b.tracer)
+		b.mu.Unlock()
+		tr.Record(trace.Event(cmd, trace.StagePush, "stale_reply", b.clock.Now(),
+			trace.String("device", d.ID)))
+		return
+	}
+	reading := d.Scanner.Measure(adv, d.Position())
+	arriveAt := b.clock.Now().Add(reading.Duration).Add(b.uniform(replyMinSec, replyMaxSec))
+	corrupt := b.plan.CorruptReply()
+	deliveries := 1
+	if b.plan.DuplicateReply() {
+		deliveries = 2
+	}
+	for i := 0; i < deliveries; i++ {
+		dup := i > 0
+		b.clock.Schedule(arriveAt, func() {
+			b.deliverReply(d, reading, arriveAt, reqStart, corrupt, dup, deliver, cmd)
+		})
+	}
+	b.mu.Unlock()
+}
+
+// deliverReply hands one reply to the caller — unless the sending
+// registration is no longer current, in which case the reply is stale
+// and must be dropped: a device removed (or replaced) mid-flight may
+// not vote on the verdict.
+func (b *Broker) deliverReply(d *Device, reading ble.Reading, at, reqStart time.Time, corrupt, dup bool, deliver func(Reply), cmd trace.CommandID) {
+	b.mu.Lock()
+	cur, ok := b.devices[d.ID]
+	stale := !ok || cur != d
+	tr := trace.Or(b.tracer)
+	if stale {
+		mPushStale.Inc()
+	} else {
+		mPushRoundTrip.Observe(at.Sub(reqStart))
+		if dup {
+			mPushDupes.Inc()
+		}
+		if corrupt {
+			mPushCorrupt.Inc()
+		}
+	}
+	b.mu.Unlock()
+	if stale {
+		tr.Record(trace.Event(cmd, trace.StagePush, "stale_reply", at,
+			trace.String("device", d.ID)))
+		return
+	}
+	deliver(Reply{DeviceID: d.ID, Reading: reading, At: at, Corrupt: corrupt})
+}
+
+// pushLatency draws one FCM delivery latency. Callers hold b.mu.
 func (b *Broker) pushLatency() time.Duration {
 	sec := b.src.LogNormal(pushMu, pushSigma)
 	if sec < pushMinSec {
@@ -151,6 +400,7 @@ func (b *Broker) pushLatency() time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
+// uniform draws a uniform duration in seconds. Callers hold b.mu.
 func (b *Broker) uniform(lo, hi float64) time.Duration {
 	return time.Duration(b.src.Uniform(lo, hi) * float64(time.Second))
 }

@@ -1,0 +1,58 @@
+package push
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"voiceguard/internal/ble"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/geom"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/rng"
+)
+
+// The devices map used to be unsynchronized, so concurrent
+// Register/Unregister/RequestRSSI corrupted it (and the event-heap
+// scheduling underneath). This test hammers the broker's public API
+// from many goroutines — run with -race — then drains the clock on
+// the single simulation thread, as the simulation contract requires.
+func TestBrokerConcurrentAccess(t *testing.T) {
+	f := setup(t)
+	model := radio.NewModel(f.plan, radio.DefaultParams(), 1)
+	pos := floorplan.Position{Floor: 0, At: geom.Point{X: 4, Y: 3}}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := fmt.Sprintf("dev-%d", w)
+			src := rng.New(int64(100 + w))
+			for i := 0; i < 50; i++ {
+				if err := f.broker.Register(&Device{
+					ID:       id,
+					Scanner:  ble.NewScanner(model, radio.Pixel5, src.Split("scan")),
+					Position: func() floorplan.Position { return pos },
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				// Ignore "unknown device" errors: another worker may
+				// have unregistered its device between our map reads.
+				_ = f.broker.RequestRSSI([]string{id}, f.adv, func(Reply) {})
+				f.broker.Devices()
+				f.broker.Unregister(id)
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain whatever the surviving registrations scheduled.
+	f.clock.Advance(time.Minute)
+	if got := f.broker.Devices(); len(got) != 1 || got[0] != "pixel5" {
+		t.Fatalf("devices after churn = %v, want just the fixture device", got)
+	}
+}

@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"voiceguard/internal/faults"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/guard"
+	"voiceguard/internal/parallel"
+	"voiceguard/internal/radio"
+	"voiceguard/internal/stats"
+)
+
+// FaultPoint is the protection performance of one multi-day run under
+// one push-channel fault profile.
+type FaultPoint struct {
+	Profile   faults.Profile
+	Policy    guard.DegradedPolicy
+	Confusion stats.Confusion
+	Latency   stats.Summary // verification seconds over recognized commands
+	Commands  int           // recognized commands
+	Degraded  int           // verdicts decided by the degraded policy
+}
+
+// FaultStudyConfig parameterises a fault study. The zero value (after
+// defaults) is the standard study: the two-floor house testbed, the
+// Echo speaker, the standard profile set, and the fail-closed policy.
+type FaultStudyConfig struct {
+	Profiles []faults.Profile // defaults to faults.Profiles()
+	Policy   guard.DegradedPolicy
+	Days     int // defaults to 7
+	Seed     int64
+}
+
+// FaultStudy re-runs the 7-day protection protocol once per fault
+// profile. Every run uses the same seed, so the command schedule and
+// owner movements are identical across profiles and any accuracy or
+// latency drift is attributable to the injected faults alone. Runs
+// fan out across the parallel worker pool; the returned points are in
+// profile order and bit-identical for a fixed seed.
+func FaultStudy(cfg FaultStudyConfig) ([]FaultPoint, error) {
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		profiles = faults.Profiles()
+	}
+	days := cfg.Days
+	if days == 0 {
+		days = 7
+	}
+	return parallel.MapErr(len(profiles), func(i int) (FaultPoint, error) {
+		p := profiles[i]
+		c := Config{
+			Plan:    floorplan.House(),
+			Spot:    "A",
+			Speaker: Echo,
+			Devices: []DeviceSpec{
+				{ID: "pixel5", Hardware: radio.Pixel5},
+				{ID: "pixel4a", Hardware: radio.Pixel4a},
+			},
+			Days:     days,
+			Degraded: cfg.Policy,
+			Seed:     cfg.Seed,
+		}
+		if p.Name != "none" {
+			c.Faults = &p
+		}
+		out, err := Run(c)
+		if err != nil {
+			return FaultPoint{}, err
+		}
+		pt := FaultPoint{
+			Profile:   p,
+			Policy:    cfg.Policy,
+			Confusion: out.Confusion,
+			Latency:   stats.Summarize(out.VerificationSeconds()),
+		}
+		for _, rec := range out.Records {
+			if rec.Recognized {
+				pt.Commands++
+			}
+			if rec.Degraded {
+				pt.Degraded++
+			}
+		}
+		return pt, nil
+	})
+}

@@ -1,0 +1,82 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"voiceguard/internal/faults"
+	"voiceguard/internal/guard"
+	"voiceguard/internal/report"
+	"voiceguard/internal/scenario"
+)
+
+// The fault study is a regression table: the same seed must render
+// the same bytes, fault injection included, or drift hides in noise.
+func TestFaultStudyDeterministicForSeed(t *testing.T) {
+	cfg := scenario.FaultStudyConfig{
+		Profiles: []faults.Profile{
+			faults.None(),
+			{Name: "drop20", Drop: 0.20},
+			{Name: "delay-spike", DelayProb: 0.25, Delay: 3e9},
+		},
+		Days: 2,
+		Seed: 5,
+	}
+	first, err := scenario.FaultStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := scenario.FaultStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(cfg.Profiles) {
+		t.Fatalf("points = %d, want %d", len(first), len(cfg.Profiles))
+	}
+	for i, pt := range first {
+		if pt.Profile.Name != cfg.Profiles[i].Name {
+			t.Fatalf("point %d is %q, want profile order preserved (%q)", i, pt.Profile.Name, cfg.Profiles[i].Name)
+		}
+	}
+	a, b := report.FaultTable(first), report.FaultTable(second)
+	if a == "" {
+		t.Fatal("empty fault table")
+	}
+	if a != b {
+		t.Fatalf("same seed rendered different tables:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// With the push channel fully dead, every verdict is decided by the
+// degraded policy: fail-closed blocks every recognized command,
+// fail-open releases every one.
+func TestFaultStudyDegradedPolicy(t *testing.T) {
+	run := func(policy guard.DegradedPolicy) scenario.FaultPoint {
+		t.Helper()
+		points, err := scenario.FaultStudy(scenario.FaultStudyConfig{
+			Profiles: []faults.Profile{{Name: "dead", Drop: 1.0}},
+			Policy:   policy,
+			Days:     1,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points[0]
+	}
+
+	closed := run(guard.DegradedFailClosed)
+	if closed.Degraded == 0 || closed.Degraded != closed.Commands {
+		t.Fatalf("dead channel: %d of %d verdicts degraded, want all", closed.Degraded, closed.Commands)
+	}
+	if blocked := closed.Confusion.TP + closed.Confusion.FP; blocked != closed.Commands {
+		t.Fatalf("fail-closed blocked %d of %d commands, want all", blocked, closed.Commands)
+	}
+
+	open := run(guard.DegradedFailOpen)
+	if open.Degraded == 0 || open.Degraded != open.Commands {
+		t.Fatalf("dead channel: %d of %d verdicts degraded, want all", open.Degraded, open.Commands)
+	}
+	if blocked := open.Confusion.TP + open.Confusion.FP; blocked != 0 {
+		t.Fatalf("fail-open blocked %d commands, want none", blocked)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"voiceguard/internal/ble"
 	"voiceguard/internal/corpus"
 	"voiceguard/internal/decision"
+	"voiceguard/internal/faults"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/guard"
 	"voiceguard/internal/mobility"
@@ -90,6 +91,17 @@ type Config struct {
 	// each day, stressing the recognizer's flow filtering.
 	BackgroundTraffic bool
 
+	// Faults injects the given fault profile into the push channel
+	// for the whole run (nil runs a clean channel). The profile's
+	// plan is seeded from the run's root stream, so a seed replays
+	// the same faults at the same instants.
+	Faults *faults.Profile
+
+	// Degraded selects the guard's policy for path-dead verdicts —
+	// fail-closed (default) blocks held traffic, fail-open releases
+	// it.
+	Degraded guard.DegradedPolicy
+
 	Seed int64
 }
 
@@ -118,6 +130,10 @@ type CommandRecord struct {
 	Command      string
 	Verification time.Duration
 	Perceived    time.Duration // Fig. 6 user-perceived delay
+
+	// Degraded marks a verdict produced without evidence (the query
+	// path was dead) and decided by the guard's DegradedPolicy.
+	Degraded bool
 }
 
 // Outcome aggregates one experiment run.
@@ -409,6 +425,9 @@ func (r *run) trainClassifier() (*decision.TraceClassifier, error) {
 // setupGuard wires the guard for the configured speaker.
 func (r *run) setupGuard() error {
 	broker := push.NewBroker(r.clock, r.root.Split("push"))
+	if r.cfg.Faults != nil {
+		broker.SetFaults(faults.NewPlan(*r.cfg.Faults, r.clock, r.root.Split("faults")))
+	}
 	devices := make([]decision.DeviceConfig, 0, len(r.owners))
 	for _, o := range r.owners {
 		o := o
@@ -451,6 +470,7 @@ func (r *run) setupGuard() error {
 		}
 		r.feed(boot)
 	}
+	r.guard.Degraded = r.cfg.Degraded
 	return nil
 }
 
@@ -696,6 +716,7 @@ func (r *run) issue(day int, malicious bool, ownerLoc int, src *rng.Source) {
 		}
 		rec.Recognized = true
 		rec.Blocked = !e.Released
+		rec.Degraded = e.Degraded
 		rec.Verification = e.VerificationTime()
 		rec.Perceived = corpus.PerceivedDelay(command, rec.Verification)
 		break

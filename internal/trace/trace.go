@@ -37,6 +37,7 @@ const (
 	StageRecognize = "recognize" // Voice Command Traffic Recognition
 	StageGuard     = "guard"     // Traffic Handler hold bookkeeping
 	StageDecision  = "decision"  // Decision Module query
+	StagePush      = "push"      // FCM push channel: sends, retries, replies
 	StageProxy     = "proxy"     // transport-level hold/release/drop
 	StageLive      = "live"      // wire-plane burst handling
 )

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"voiceguard/internal/guard"
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/proxy"
 	"voiceguard/internal/trace"
@@ -28,6 +29,39 @@ var (
 // the traffic stays held; returning true releases the held bytes to
 // the cloud, false drops them (terminating the TLS session).
 type DecisionFunc func(ctx context.Context) bool
+
+// LiveOption configures the wire plane's safety valves, shared by
+// StartLiveProxy and StartLiveGuard.
+type LiveOption func(*liveOptions)
+
+type liveOptions struct {
+	holdDeadline time.Duration
+	degraded     guard.DegradedPolicy
+}
+
+// WithHoldDeadline arms the transport-level hold deadline: if a
+// DecisionFunc wedges, crashes, or simply never returns, held bytes
+// are resolved at most d after the hold began, by the same degraded
+// policy the guard uses — fail-open releases them to the cloud,
+// fail-closed drops them. d <= 0 leaves the deadline disabled.
+func WithHoldDeadline(d time.Duration, policy guard.DegradedPolicy) LiveOption {
+	return func(o *liveOptions) {
+		o.holdDeadline = d
+		o.degraded = policy
+	}
+}
+
+// proxyOpts renders the live options into transport-proxy options.
+func (o liveOptions) proxyOpts() []proxy.Option {
+	if o.holdDeadline <= 0 {
+		return nil
+	}
+	action := proxy.DeadlineRelease
+	if o.degraded == guard.DegradedFailClosed {
+		action = proxy.DeadlineDrop
+	}
+	return []proxy.Option{proxy.WithHoldDeadline(o.holdDeadline, action)}
+}
 
 // LiveProxy runs the Traffic Handler on real sockets: a transparent
 // TCP proxy between the speaker and its cloud server that holds each
@@ -57,12 +91,16 @@ type LiveStats struct {
 // The first chunk of every client burst triggers a hold; decide is
 // then consulted and the burst released or dropped. idleGap defines
 // when a new chunk starts a new burst.
-func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGap time.Duration) (*LiveProxy, error) {
+func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGap time.Duration, opts ...LiveOption) (*LiveProxy, error) {
 	if decide == nil {
 		return nil, fmt.Errorf("voiceguard: a DecisionFunc is required")
 	}
 	if idleGap <= 0 {
 		idleGap = time.Second
+	}
+	var lo liveOptions
+	for _, opt := range opts {
+		opt(&lo)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	lp := &LiveProxy{decide: decide, ctx: ctx, cancel: cancel}
@@ -70,11 +108,7 @@ func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 	lastChunk := make(map[*proxy.Session]time.Time)
 	var mu sync.Mutex
 
-	tcp, err := proxy.NewTCP(listenAddr,
-		func(ctx context.Context) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", upstreamAddr)
-		},
+	popts := append(lo.proxyOpts(),
 		proxy.WithTap(func(s *proxy.Session, data []byte) {
 			mu.Lock()
 			last, seen := lastChunk[s]
@@ -97,6 +131,12 @@ func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 			lp.wg.Add(1)
 			go lp.adjudicate(s, id)
 		}))
+	tcp, err := proxy.NewTCP(listenAddr,
+		func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", upstreamAddr)
+		},
+		popts...)
 	if err != nil {
 		cancel()
 		return nil, err

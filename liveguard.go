@@ -70,12 +70,16 @@ type liveSession struct {
 // forward to upstreamAddr, and adjudicate recognized voice commands
 // with decide. idleGap separates traffic spikes (the paper uses one
 // second).
-func StartLiveGuard(listenAddr, upstreamAddr string, decide DecisionFunc, idleGap time.Duration) (*LiveGuard, error) {
+func StartLiveGuard(listenAddr, upstreamAddr string, decide DecisionFunc, idleGap time.Duration, opts ...LiveOption) (*LiveGuard, error) {
 	if decide == nil {
 		return nil, fmt.Errorf("voiceguard: a DecisionFunc is required")
 	}
 	if idleGap <= 0 {
 		idleGap = time.Second
+	}
+	var lo liveOptions
+	for _, opt := range opts {
+		opt(&lo)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	g := &LiveGuard{
@@ -87,11 +91,7 @@ func StartLiveGuard(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 	}
 
 	nextPort := 40000
-	tcp, err := proxy.NewTCP(listenAddr,
-		func(ctx context.Context) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", upstreamAddr)
-		},
+	popts := append(lo.proxyOpts(),
 		proxy.WithTap(func(s *proxy.Session, data []byte) {
 			g.mu.Lock()
 			ls, ok := g.sessions[s]
@@ -103,6 +103,12 @@ func StartLiveGuard(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 			g.feedLocked(s, ls, data)
 			g.mu.Unlock()
 		}))
+	tcp, err := proxy.NewTCP(listenAddr,
+		func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", upstreamAddr)
+		},
+		popts...)
 	if err != nil {
 		cancel()
 		return nil, err
