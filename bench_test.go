@@ -88,6 +88,41 @@ func BenchmarkTable4Office(b *testing.B) {
 		[]scenario.DeviceSpec{{ID: "watch4", Hardware: radio.GalaxyWatch4}})
 }
 
+// --- Simulator throughput --------------------------------------------
+
+// BenchmarkHomeDay measures simulator throughput end to end: each
+// iteration is one 7-day protection run of the two-floor house
+// testbed on a fixed seed — the discrete-event loop's steady-state
+// regime, with the deterministic memo layers (shadow field, mobility
+// paths, trace means) warm across iterations. The home_days_per_sec
+// metric is the headline throughput number the CI bench gate tracks.
+func BenchmarkHomeDay(b *testing.B) {
+	plan := floorplan.House()
+	const days = 7
+	var last *scenario.Outcome
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := scenario.Run(scenario.Config{
+			Plan:    plan,
+			Spot:    "A",
+			Speaker: scenario.Echo,
+			Devices: twoPhoneSpecs(),
+			Days:    days,
+			Seed:    1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(days)*float64(b.N)/secs, "home_days_per_sec")
+	}
+	b.ReportMetric(100*last.Confusion.Accuracy(), "pct_accuracy")
+}
+
 // --- Figure 3 --------------------------------------------------------
 
 func BenchmarkFig3SpikeTrace(b *testing.B) {

@@ -187,7 +187,7 @@ func writeCSV(name string, write func(w *os.File) error) error {
 var experimentOrder = []string{
 	"table1", "table2", "table3", "table4",
 	"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "corpus",
-	"attacks", "robustness", "sensitivity", "faults",
+	"attacks", "robustness", "sensitivity", "faults", "homeday",
 }
 
 func run(exp string, seed int64, days, invocations, queries int, fault string) error {
@@ -212,6 +212,7 @@ func run(exp string, seed int64, days, invocations, queries int, fault string) e
 		"robustness":  func() error { return robustness(seed) },
 		"sensitivity": func() error { return sensitivity(days, seed) },
 		"faults":      func() error { return faultStudy(days, seed, fault) },
+		"homeday":     func() error { return homeDayThroughput(days, seed) },
 	}
 
 	if exp == "all" {
@@ -432,6 +433,40 @@ func faultStudy(days int, seed int64, profile string) error {
 	recordMetric("pct_accuracy_clean", 100*clean)
 	recordMetric("pct_accuracy_worst_profile", 100*worst)
 	fmt.Print(report.FaultTable(points))
+	return nil
+}
+
+// homeDayThroughput measures end-to-end simulator throughput: three
+// same-seed protection runs of the house testbed back to back (the
+// steady-state regime, with the deterministic memo layers warm after
+// the first run), reported as simulated home-days per wall-clock
+// second. The bench gate tracks home_days_per_sec for regressions.
+func homeDayThroughput(days int, seed int64) error {
+	const iterations = 3
+	plan := floorplan.House()
+	cfg := scenario.Config{
+		Plan:    plan,
+		Spot:    "A",
+		Speaker: scenario.Echo,
+		Devices: twoPhones(),
+		Days:    days,
+		Seed:    seed,
+	}
+	var last *scenario.Outcome
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		out, err := scenario.Run(cfg)
+		if err != nil {
+			return err
+		}
+		last = out
+	}
+	elapsed := time.Since(start)
+	perSec := float64(days*iterations) / elapsed.Seconds()
+	recordMetric("home_days_per_sec", perSec)
+	recordMetric("pct_accuracy", 100*last.Confusion.Accuracy())
+	fmt.Printf("== home-day throughput ==\n%d runs x %d days in %v: %.1f home-days/sec (accuracy %.1f%%)\n",
+		iterations, days, elapsed.Round(time.Millisecond), perSec, 100*last.Confusion.Accuracy())
 	return nil
 }
 

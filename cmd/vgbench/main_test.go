@@ -12,7 +12,7 @@ func TestRunEveryExperiment(t *testing.T) {
 	for _, exp := range []string{
 		"table1", "table2", "table3", "table4",
 		"fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"corpus", "attacks", "robustness", "sensitivity", "faults",
+		"corpus", "attacks", "robustness", "sensitivity", "faults", "homeday",
 	} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {

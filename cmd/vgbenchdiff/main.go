@@ -1,0 +1,171 @@
+// Command vgbenchdiff compares two vgbench -json artifacts and fails
+// on regression, making a committed baseline enforceable in CI.
+//
+// Quality metrics (pct_* fields) are deterministic for a fixed seed,
+// so any drift at all is a regression: they must match the baseline
+// bit for bit. Timing fields (ns_per_op, allocs_per_op, bytes_per_op)
+// and throughput rates (*_per_sec metrics) vary across machines and
+// runs, so they are held to a tolerance band instead: a timing field
+// regresses when it exceeds baseline x tolerance, a rate when it
+// falls below baseline / tolerance.
+//
+// Usage:
+//
+//	vgbenchdiff -baseline BENCH_v0.json -current bench.json
+//	vgbenchdiff -baseline BENCH_v0.json -current bench.json -timing-tolerance 4
+//
+// Exit status: 0 when current is no worse than baseline, 1 on any
+// regression (or on an experiment missing from current), 2 on usage
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchFile mirrors vgbench's -json payload.
+type benchFile struct {
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Workers     int           `json:"workers"`
+	Experiments []benchRecord `json:"experiments"`
+}
+
+type benchRecord struct {
+	Name     string             `json:"name"`
+	NsPerOp  int64              `json:"ns_per_op"`
+	AllocsOp uint64             `json:"allocs_per_op"`
+	BytesOp  uint64             `json:"bytes_per_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline artifact (vgbench -json output)")
+		currentPath  = flag.String("current", "", "freshly generated artifact to compare against the baseline")
+		tolerance    = flag.Float64("timing-tolerance", 3.0, "allowed multiplier on timing fields and divisor on *_per_sec rates")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" || *tolerance < 1 {
+		fmt.Fprintln(os.Stderr, "vgbenchdiff: -baseline and -current are required; -timing-tolerance must be >= 1")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := readBenchFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vgbenchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := readBenchFile(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vgbenchdiff:", err)
+		os.Exit(2)
+	}
+
+	regressions := Compare(baseline, current, *tolerance)
+	if baseline.GoVersion != current.GoVersion {
+		fmt.Printf("note: go version changed (%s -> %s)\n", baseline.GoVersion, current.GoVersion)
+	}
+	if len(regressions) == 0 {
+		fmt.Printf("ok: %d experiments within tolerance %.1fx of %s\n",
+			len(baseline.Experiments), *tolerance, *baselinePath)
+		return
+	}
+	for _, r := range regressions {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	fmt.Printf("%d regressions against %s\n", len(regressions), *baselinePath)
+	os.Exit(1)
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Compare returns a description of every regression of current
+// against baseline. Experiments present only in current are new and
+// pass; experiments missing from current are themselves regressions
+// (the gate lost coverage).
+func Compare(baseline, current *benchFile, tolerance float64) []string {
+	cur := make(map[string]benchRecord, len(current.Experiments))
+	for _, r := range current.Experiments {
+		cur[r.Name] = r
+	}
+	var out []string
+	for _, base := range baseline.Experiments {
+		now, ok := cur[base.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: experiment missing from current artifact", base.Name))
+			continue
+		}
+		out = append(out, compareRecord(base, now, tolerance)...)
+	}
+	return out
+}
+
+// compareRecord checks one experiment: exact-match pct_* metrics,
+// tolerance-banded timing fields and rates.
+func compareRecord(base, now benchRecord, tolerance float64) []string {
+	var out []string
+	if now.NsPerOp > int64(float64(base.NsPerOp)*tolerance) {
+		out = append(out, fmt.Sprintf("%s: ns_per_op %d exceeds baseline %d x %.1f",
+			base.Name, now.NsPerOp, base.NsPerOp, tolerance))
+	}
+	if now.AllocsOp > uint64(float64(base.AllocsOp)*tolerance) {
+		out = append(out, fmt.Sprintf("%s: allocs_per_op %d exceeds baseline %d x %.1f",
+			base.Name, now.AllocsOp, base.AllocsOp, tolerance))
+	}
+	if now.BytesOp > uint64(float64(base.BytesOp)*tolerance) {
+		out = append(out, fmt.Sprintf("%s: bytes_per_op %d exceeds baseline %d x %.1f",
+			base.Name, now.BytesOp, base.BytesOp, tolerance))
+	}
+
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Metrics[name]
+		got, ok := now.Metrics[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: metric %s missing from current artifact", base.Name, name))
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "pct_"):
+			// Quality metrics are seed-deterministic: exact match.
+			if got != want {
+				out = append(out, fmt.Sprintf("%s: %s = %v, baseline %v (quality metrics must match exactly)",
+					base.Name, name, got, want))
+			}
+		case strings.HasSuffix(name, "_per_sec"):
+			// Rates: higher is better; regression below base/tolerance.
+			if got < want/tolerance {
+				out = append(out, fmt.Sprintf("%s: %s = %.1f below baseline %.1f / %.1f",
+					base.Name, name, got, want, tolerance))
+			}
+		default:
+			// Other recorded values: lower is better (durations,
+			// allocation counts); same band as the timing fields.
+			if got > want*tolerance {
+				out = append(out, fmt.Sprintf("%s: %s = %v exceeds baseline %v x %.1f",
+					base.Name, name, got, want, tolerance))
+			}
+		}
+	}
+	return out
+}

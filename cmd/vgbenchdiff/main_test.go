@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func file(recs ...benchRecord) *benchFile {
+	return &benchFile{GoVersion: "go1.22", Experiments: recs}
+}
+
+func rec(name string, ns int64, metrics map[string]float64) benchRecord {
+	return benchRecord{Name: name, NsPerOp: ns, AllocsOp: 100, BytesOp: 1000, Metrics: metrics}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	base := file(rec("table1", 1000, map[string]float64{"pct_accuracy": 99.5}))
+	if regs := Compare(base, base, 3); len(regs) != 0 {
+		t.Fatalf("identical artifacts regressed: %v", regs)
+	}
+}
+
+func TestCompareQualityMetricExactMatch(t *testing.T) {
+	base := file(rec("table1", 1000, map[string]float64{"pct_accuracy": 99.5}))
+	// The tiniest drift in a pct_* metric must fail, even within any
+	// numeric tolerance.
+	cur := file(rec("table1", 1000, map[string]float64{"pct_accuracy": 99.4999}))
+	regs := Compare(base, cur, 3)
+	if len(regs) != 1 || !strings.Contains(regs[0], "pct_accuracy") {
+		t.Fatalf("quality drift not caught: %v", regs)
+	}
+	// An exactly equal value passes; improvement also fails exactness —
+	// a changed deterministic output means the simulation changed.
+	cur = file(rec("table1", 1000, map[string]float64{"pct_accuracy": 99.6}))
+	if regs := Compare(base, cur, 3); len(regs) != 1 {
+		t.Fatalf("quality improvement should still flag exact mismatch: %v", regs)
+	}
+}
+
+func TestCompareTimingTolerance(t *testing.T) {
+	base := file(rec("table1", 1000, nil))
+	within := file(rec("table1", 2999, nil))
+	if regs := Compare(base, within, 3); len(regs) != 0 {
+		t.Fatalf("timing within 3x regressed: %v", regs)
+	}
+	over := file(rec("table1", 3001, nil))
+	regs := Compare(base, over, 3)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns_per_op") {
+		t.Fatalf("timing over 3x not caught: %v", regs)
+	}
+}
+
+func TestCompareRateMetric(t *testing.T) {
+	base := file(rec("homeday", 1000, map[string]float64{"home_days_per_sec": 900}))
+	// A rate within baseline/tolerance passes.
+	cur := file(rec("homeday", 1000, map[string]float64{"home_days_per_sec": 301}))
+	if regs := Compare(base, cur, 3); len(regs) != 0 {
+		t.Fatalf("rate within band regressed: %v", regs)
+	}
+	// Below baseline/tolerance fails.
+	cur = file(rec("homeday", 1000, map[string]float64{"home_days_per_sec": 299}))
+	regs := Compare(base, cur, 3)
+	if len(regs) != 1 || !strings.Contains(regs[0], "home_days_per_sec") {
+		t.Fatalf("rate collapse not caught: %v", regs)
+	}
+	// Faster than baseline always passes.
+	cur = file(rec("homeday", 1000, map[string]float64{"home_days_per_sec": 5000}))
+	if regs := Compare(base, cur, 3); len(regs) != 0 {
+		t.Fatalf("rate improvement regressed: %v", regs)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := file(benchRecord{Name: "table1", NsPerOp: 1000, AllocsOp: 100, BytesOp: 1000})
+	cur := file(benchRecord{Name: "table1", NsPerOp: 1000, AllocsOp: 500, BytesOp: 1000})
+	regs := Compare(base, cur, 3)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs_per_op") {
+		t.Fatalf("alloc regression not caught: %v", regs)
+	}
+}
+
+func TestCompareMissingExperimentFails(t *testing.T) {
+	base := file(rec("table1", 1000, nil), rec("faults", 2000, nil))
+	cur := file(rec("table1", 1000, nil))
+	regs := Compare(base, cur, 3)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("missing experiment not caught: %v", regs)
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base := file(rec("table1", 1000, map[string]float64{"pct_accuracy": 99.5}))
+	cur := file(rec("table1", 1000, nil))
+	regs := Compare(base, cur, 3)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("missing metric not caught: %v", regs)
+	}
+}
+
+func TestCompareNewExperimentPasses(t *testing.T) {
+	base := file(rec("table1", 1000, nil))
+	cur := file(rec("table1", 1000, nil), rec("brand-new", 9999, nil))
+	if regs := Compare(base, cur, 3); len(regs) != 0 {
+		t.Fatalf("new experiment in current flagged: %v", regs)
+	}
+}

@@ -18,6 +18,8 @@ var hotFuncs = map[string]map[string]bool{
 	"voiceguard/internal/radio": {
 		"PathRSSI": true, "Mean": true, "shadowAt": true,
 		"shadowAtUncached": true, "Sample": true, "AverageAt": true,
+		"SampleBatch": true, "SampleRepeat": true, "AverageAtBatch": true,
+		"MeanBatch": true, "SampleFromMeans": true,
 	},
 	"voiceguard/internal/floorplan": {
 		"WallLoss": true, "wallLossUncached": true, "LineOfSight": true,

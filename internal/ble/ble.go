@@ -60,11 +60,14 @@ func (s *Scanner) Measure(adv Advertiser, at floorplan.Position) Reading {
 	if packets < 1 {
 		packets = 1
 	}
+	// The phone does not move between packets of one scan, so the
+	// link mean is computed once for the whole burst (bit-identical
+	// to per-packet sampling — see radio.SampleRepeat).
 	samples := make([]float64, packets)
+	s.Model.SampleRepeat(adv.Pos, at, s.Device, s.src, samples)
 	var sum float64
-	for i := range samples {
-		samples[i] = s.Model.Sample(adv.Pos, at, s.Device, s.src)
-		sum += samples[i]
+	for _, v := range samples {
+		sum += v
 	}
 
 	firstWait := time.Duration(s.src.Uniform(0, float64(adv.Interval)))
@@ -84,4 +87,22 @@ func (s *Scanner) Measure(adv Advertiser, at floorplan.Position) Reading {
 // rather than starting a fresh multi-packet scan).
 func (s *Scanner) Quick(adv Advertiser, at floorplan.Position) float64 {
 	return s.Model.Sample(adv.Pos, at, s.Device, s.src)
+}
+
+// QuickTrace fills out with one Quick sample per position in a single
+// batched pass through the radio model (len(out) must equal
+// len(positions)). Value-identical to sequential Quick calls; used by
+// trace recording and the calibration walk, where one event samples a
+// whole movement path.
+func (s *Scanner) QuickTrace(adv Advertiser, positions []floorplan.Position, out []float64) {
+	s.Model.SampleBatch(adv.Pos, positions, s.Device, s.src, out)
+}
+
+// QuickFromMeans fills out with one Quick sample per precomputed
+// deterministic link mean (see radio.MeanBatch). Bit-identical to
+// QuickTrace over the positions the means were computed from: trace
+// recording memoizes the means of a recurring path and draws only the
+// per-recording noise here.
+func (s *Scanner) QuickFromMeans(means []float64, out []float64) {
+	s.Model.SampleFromMeans(means, s.Device, s.src, out)
 }

@@ -273,10 +273,8 @@ func CalibrateThreshold(sc *ble.Scanner, adv ble.Advertiser, path *mobility.Path
 	if n < 2 {
 		return 0, fmt.Errorf("decision: calibration walk too short (%v)", path.Duration())
 	}
+	means := traceMeanVector(sc, adv, path, 0, CalibrationInterval, n)
 	values := make([]float64, n)
-	for i := range values {
-		pos := path.At(time.Duration(i) * CalibrationInterval)
-		values[i] = sc.Quick(adv, pos)
-	}
+	sc.QuickFromMeans(means, values)
 	return stats.Min(values), nil
 }

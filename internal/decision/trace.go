@@ -60,13 +60,15 @@ type Features struct {
 // RecordTrace samples the speaker's RSSI along a movement path:
 // TraceSamples readings, TraceInterval apart, starting at the path
 // offset. This mirrors the phone app's recording loop after a motion
-// event.
+// event. The deterministic half of the trace (path positions, path
+// loss, walls, shadowing) is served by the trace-mean memo — recurring
+// paths compute it once — and only the per-recording measurement
+// noise is drawn here, bit-identical to the per-sample loop it
+// replaces.
 func RecordTrace(sc *ble.Scanner, adv ble.Advertiser, path *mobility.Path, offset time.Duration) []float64 {
+	means := traceMeanVector(sc, adv, path, offset, TraceInterval, TraceSamples)
 	trace := make([]float64, TraceSamples)
-	for i := range trace {
-		pos := path.At(offset + time.Duration(i)*TraceInterval)
-		trace[i] = sc.Quick(adv, pos)
-	}
+	sc.QuickFromMeans(means, trace)
 	return trace
 }
 

@@ -120,6 +120,20 @@ func LineOfSight(a, b Point, walls []Segment) bool {
 // closing edge from the last vertex back to the first is implicit.
 type Polygon []Point
 
+// Equal reports whether the two polygons have identical vertex lists
+// (exact float equality, no rotation or reflection tolerance).
+func (poly Polygon) Equal(q Polygon) bool {
+	if len(poly) != len(q) {
+		return false
+	}
+	for i := range poly {
+		if poly[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Contains reports whether p lies inside the polygon (points exactly
 // on an edge count as inside). It uses the even-odd ray-casting rule.
 func (poly Polygon) Contains(p Point) bool {

@@ -140,6 +140,7 @@ type Guard struct {
 	inflight  *episode   // episode whose decision query is running
 	queue     []*episode // recognized commands awaiting the in-flight query
 	idleTimer *simtime.Event
+	idleFire  func() // reusable idle-timer callback (see armIdleTimer)
 
 	events  []Event
 	onEvent func(Event)
@@ -162,6 +163,24 @@ func (g *Guard) OnEvent(fn func(Event)) { g.onEvent = fn }
 // Events returns a copy of all recorded events.
 func (g *Guard) Events() []Event {
 	return append([]Event(nil), g.events...)
+}
+
+// EventCount reports how many events the guard has recorded so far —
+// a cursor for EventsSince.
+func (g *Guard) EventCount() int { return len(g.events) }
+
+// EventsSince returns a copy of the events recorded at or after the
+// given cursor (a previous EventCount result). Callers polling for new
+// events after each command should use this instead of Events, which
+// copies the whole history and turns a day loop quadratic.
+func (g *Guard) EventsSince(cursor int) []Event {
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(g.events) {
+		return nil
+	}
+	return append([]Event(nil), g.events[cursor:]...)
 }
 
 // tracer returns the guard's tracer, defaulting safely.
@@ -234,18 +253,28 @@ func (g *Guard) traceClassified(ep *episode, at time.Time, action string) {
 }
 
 // armIdleTimer (re)schedules spike finalisation one idle gap after the
-// latest packet.
+// latest packet. The timer is re-armed on every held packet, so the
+// re-arm path reuses the live event via Reschedule instead of
+// allocating a fresh one — ordering is identical to cancel-and-
+// schedule (Reschedule takes a fresh sequence number).
 func (g *Guard) armIdleTimer(last time.Time) {
-	g.disarmIdleTimer()
-	g.idleTimer = g.clock.Schedule(last.Add(g.recognizer.IdleGap), func() {
-		g.idleTimer = nil
-		if g.recognizer.EndSpike() == recognize.ActionRelease {
-			if g.cur != nil {
-				g.traceClassified(g.cur, g.clock.Now(), "release")
+	at := last.Add(g.recognizer.IdleGap)
+	if g.idleTimer != nil {
+		g.idleTimer = g.clock.Reschedule(g.idleTimer, at)
+		return
+	}
+	if g.idleFire == nil {
+		g.idleFire = func() {
+			g.idleTimer = nil
+			if g.recognizer.EndSpike() == recognize.ActionRelease {
+				if g.cur != nil {
+					g.traceClassified(g.cur, g.clock.Now(), "release")
+				}
+				g.finishNonCommand()
 			}
-			g.finishNonCommand()
 		}
-	})
+	}
+	g.idleTimer = g.clock.Schedule(at, g.idleFire)
 }
 
 func (g *Guard) disarmIdleTimer() {

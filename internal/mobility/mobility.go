@@ -7,6 +7,7 @@ package mobility
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"voiceguard/internal/floorplan"
@@ -34,16 +35,81 @@ type timedPoint struct {
 	pos floorplan.Position
 }
 
+// Route-path memoization. A route path is a pure deterministic
+// function of the waypoint list and the speed, and the simulation
+// rebuilds the same few paths constantly (the stair routes on every
+// motion event, two-point "still" routes at the finite set of
+// deployment locations). Construction is cheap; the value of the memo
+// is POINTER stability — downstream caches key derived per-path
+// quantities (e.g. a trace's deterministic RSSI means) by *Path, which
+// only hits if the same route yields the same pointer. Paths are
+// immutable after construction, so sharing is safe.
+
+type routeKey struct {
+	speed     float64
+	name      string
+	waypoints int
+}
+
+type routeEntry struct {
+	waypoints []floorplan.Position
+	path      *Path
+}
+
+var routeCache struct {
+	mu      sync.RWMutex
+	entries int
+	m       map[routeKey][]routeEntry
+}
+
+// routeCacheCap bounds the total memoized paths; once full, further
+// misses compute without inserting (correctness unaffected).
+const routeCacheCap = 8192
+
+func routeLookup(key routeKey, waypoints []floorplan.Position) (*Path, bool) {
+	routeCache.mu.RLock()
+	defer routeCache.mu.RUnlock()
+entries:
+	for _, e := range routeCache.m[key] {
+		for i := range waypoints {
+			if e.waypoints[i] != waypoints[i] {
+				continue entries
+			}
+		}
+		return e.path, true
+	}
+	return nil, false
+}
+
+func routeStore(key routeKey, waypoints []floorplan.Position, p *Path) {
+	routeCache.mu.Lock()
+	defer routeCache.mu.Unlock()
+	if routeCache.m == nil {
+		routeCache.m = make(map[routeKey][]routeEntry)
+	}
+	if routeCache.entries < routeCacheCap {
+		wp := append([]floorplan.Position(nil), waypoints...)
+		routeCache.m[key] = append(routeCache.m[key], routeEntry{waypoints: wp, path: p})
+		routeCache.entries++
+	}
+}
+
 // NewRoutePath returns a Path that walks the route's waypoints in
 // order at the given speed. Consecutive waypoints on different floors
 // are treated as a stair climb, which costs hopLength metres of
-// walking time; the floor switches halfway through the climb.
+// walking time; the floor switches halfway through the climb. The
+// result is memoized: the same waypoints at the same speed return the
+// same (immutable) *Path.
 func NewRoutePath(route floorplan.Route, speed float64) (*Path, error) {
 	if speed <= 0 {
 		return nil, fmt.Errorf("mobility: speed must be positive, got %v", speed)
 	}
 	if len(route.Waypoints) < 2 {
 		return nil, fmt.Errorf("mobility: route %q has %d waypoints", route.Name, len(route.Waypoints))
+	}
+	key := routeKey{speed: speed, name: route.Name, waypoints: len(route.Waypoints)}
+	if p, ok := routeLookup(key, route.Waypoints); ok {
+		return p, nil
 	}
 	p := &Path{points: []timedPoint{{t: 0, pos: route.Waypoints[0]}}}
 	elapsed := time.Duration(0)
@@ -56,6 +122,7 @@ func NewRoutePath(route floorplan.Route, speed float64) (*Path, error) {
 		elapsed += time.Duration(dist / speed * float64(time.Second))
 		p.points = append(p.points, timedPoint{t: elapsed, pos: next})
 	}
+	routeStore(key, route.Waypoints, p)
 	return p, nil
 }
 
@@ -65,13 +132,90 @@ func NewRoutePath(route floorplan.Route, speed float64) (*Path, error) {
 // RSSI "only fluctuates within a small range".
 const wanderStepMax = 2.0 // m
 
+// Wander-path memoization. A wander path is a pure function of the
+// room geometry, speed, duration, and the seed of a fresh rng stream,
+// and the simulation builds one per motion event from a per-event
+// split — thousands per simulated week, each paying the stream's
+// seeding warmup plus waypoint rejection sampling. The memo returns
+// the previously built (immutable) Path when the same inputs recur,
+// without ever drawing from the caller's stream.
+//
+// The room's polygon is part of the derivation but not comparable, so
+// the key carries the room's name and floor and each entry stores the
+// polygon it was built from; a hit requires vertex-exact equality, so
+// two plans reusing a room name can never serve each other's paths.
+
+type wanderKey struct {
+	seed     int64
+	speed    float64
+	duration time.Duration
+	floor    int
+	name     string
+}
+
+type wanderEntry struct {
+	poly geom.Polygon
+	path *Path
+}
+
+var wanderCache struct {
+	mu sync.RWMutex
+	m  map[wanderKey][]wanderEntry
+}
+
+// wanderCacheCap bounds the memo; once full, further misses compute
+// without inserting (correctness unaffected).
+const wanderCacheCap = 8192
+
+func wanderLookup(key wanderKey, poly geom.Polygon) (*Path, bool) {
+	wanderCache.mu.RLock()
+	defer wanderCache.mu.RUnlock()
+	for _, e := range wanderCache.m[key] {
+		if e.poly.Equal(poly) {
+			return e.path, true
+		}
+	}
+	return nil, false
+}
+
+func wanderStore(key wanderKey, poly geom.Polygon, p *Path) {
+	wanderCache.mu.Lock()
+	defer wanderCache.mu.Unlock()
+	if wanderCache.m == nil {
+		wanderCache.m = make(map[wanderKey][]wanderEntry)
+	}
+	if len(wanderCache.m) < wanderCacheCap {
+		wanderCache.m[key] = append(wanderCache.m[key], wanderEntry{poly: poly, path: p})
+	}
+}
+
 // NewWanderPath returns a Path that wanders randomly inside the room
 // for at least the given duration, taking short legs (at most
-// wanderStepMax metres) from a random starting point.
+// wanderStepMax metres) from a random starting point. When src is a
+// fresh split (never drawn from), the result is memoized by src's
+// seed and the room geometry; a memo hit leaves src untouched, which
+// is indistinguishable from a miss because callers split a dedicated
+// stream per path.
 func NewWanderPath(room floorplan.Room, speed float64, duration time.Duration, src *rng.Source) (*Path, error) {
 	if speed <= 0 {
 		return nil, fmt.Errorf("mobility: speed must be positive, got %v", speed)
 	}
+	key := wanderKey{seed: src.Seed(), speed: speed, duration: duration, floor: room.Floor, name: room.Name}
+	cacheable := src.Fresh()
+	if cacheable {
+		if p, ok := wanderLookup(key, room.Poly); ok {
+			return p, nil
+		}
+	}
+	p := buildWanderPath(room, speed, duration, src)
+	if cacheable {
+		wanderStore(key, room.Poly, p)
+	}
+	return p, nil
+}
+
+// buildWanderPath is the seeded derivation the memo serves.
+func buildWanderPath(room floorplan.Room, speed float64, duration time.Duration, src *rng.Source) *Path {
 	start := randomPointIn(room.Poly, src)
 	p := &Path{points: []timedPoint{{t: 0, pos: floorplan.Position{Floor: room.Floor, At: start}}}}
 	elapsed := time.Duration(0)
@@ -89,7 +233,7 @@ func NewWanderPath(room floorplan.Room, speed float64, duration time.Duration, s
 		})
 		cur = target
 	}
-	return p, nil
+	return p
 }
 
 // localTarget picks the next wander leg: a point within wanderStepMax
@@ -209,10 +353,46 @@ func (p *Path) At(t time.Duration) floorplan.Position {
 // Sample returns n positions spaced step apart, starting at offset 0.
 func (p *Path) Sample(step time.Duration, n int) []floorplan.Position {
 	out := make([]floorplan.Position, n)
-	for i := range out {
-		out[i] = p.At(time.Duration(i) * step)
-	}
+	p.SampleInto(0, step, out)
 	return out
+}
+
+// SampleInto fills out with len(out) positions spaced step apart,
+// starting at offset. It is value-identical to calling At for each
+// sample time, but walks the waypoint list once with a cursor instead
+// of rescanning it from the head per sample — the fast path for trace
+// recording, where one motion event reads 40 positions along one
+// path. step must be non-negative.
+func (p *Path) SampleInto(offset, step time.Duration, out []floorplan.Position) {
+	last := p.points[len(p.points)-1]
+	seg := 1
+	for i := range out {
+		t := offset + time.Duration(i)*step
+		switch {
+		case t <= 0:
+			out[i] = p.points[0].pos
+		case t >= last.t:
+			out[i] = last.pos
+		default:
+			for t > p.points[seg].t {
+				seg++
+			}
+			a, b := p.points[seg-1], p.points[seg]
+			span := b.t - a.t
+			frac := 0.0
+			if span > 0 {
+				frac = float64(t-a.t) / float64(span)
+			}
+			pos := floorplan.Position{
+				Floor: a.pos.Floor,
+				At:    a.pos.At.Lerp(b.pos.At, frac),
+			}
+			if b.pos.Floor != a.pos.Floor && frac >= 0.5 {
+				pos.Floor = b.pos.Floor
+			}
+			out[i] = pos
+		}
+	}
 }
 
 func abs(x int) int {

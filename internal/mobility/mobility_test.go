@@ -199,3 +199,38 @@ func TestWanderMovesAround(t *testing.T) {
 		t.Fatal("wander never moved more than 1 m")
 	}
 }
+
+func TestSampleIntoMatchesAt(t *testing.T) {
+	plan := floorplan.House()
+	for name, route := range plan.Routes {
+		path, err := NewRoutePath(route, DefaultSpeed)
+		if err != nil {
+			t.Fatalf("route %s: %v", name, err)
+		}
+		for _, offset := range []time.Duration{0, 700 * time.Millisecond, -time.Second} {
+			out := make([]floorplan.Position, 40)
+			path.SampleInto(offset, 200*time.Millisecond, out)
+			for i, got := range out {
+				want := path.At(offset + time.Duration(i)*200*time.Millisecond)
+				if got != want {
+					t.Fatalf("route %s offset %v sample %d: SampleInto %+v != At %+v", name, offset, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleIntoPastEnd(t *testing.T) {
+	plan := floorplan.House()
+	path, err := NewRoutePath(plan.Routes["up"], DefaultSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]floorplan.Position, 10)
+	path.SampleInto(path.Duration(), time.Second, out)
+	for i, got := range out {
+		if got != path.End() {
+			t.Fatalf("sample %d past end: %+v != End %+v", i, got, path.End())
+		}
+	}
+}

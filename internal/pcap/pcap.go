@@ -48,9 +48,26 @@ type Packet struct {
 	Payload []byte
 }
 
-// FlowKey identifies the packet's unidirectional flow.
+// FlowKey identifies the packet's unidirectional flow as a printable
+// string. Hot paths that key maps by flow should use Flow instead —
+// FlowKey formats on every call.
 func (p Packet) FlowKey() string {
 	return fmt.Sprintf("%s:%d>%s:%d/%s", p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, p.Proto)
+}
+
+// FlowID identifies a unidirectional flow as a comparable value, so
+// per-flow state can be keyed without formatting a string per packet.
+type FlowID struct {
+	SrcIP   string
+	SrcPort int
+	DstIP   string
+	DstPort int
+	Proto   Protocol
+}
+
+// Flow returns the packet's unidirectional flow identity.
+func (p Packet) Flow() FlowID {
+	return FlowID{SrcIP: p.SrcIP, SrcPort: p.SrcPort, DstIP: p.DstIP, DstPort: p.DstPort, Proto: p.Proto}
 }
 
 // Src returns the packet's source endpoint as "ip:port".
@@ -101,12 +118,20 @@ func (c *Capture) Between(a, b string) []Packet {
 	})
 }
 
+// byTime implements a typed stable sort over packets, avoiding the
+// reflection-based swapper sort.SliceStable builds per call — packet
+// merging runs once per generated invocation.
+type byTime []Packet
+
+func (s byTime) Len() int           { return len(s) }
+func (s byTime) Less(i, j int) bool { return s[i].Time.Before(s[j].Time) }
+func (s byTime) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // SortByTime sorts packets by timestamp, preserving capture order for
-// equal timestamps.
+// equal timestamps. (Stability fully determines the output order, so
+// the typed sort is output-identical to any other stable sort.)
 func SortByTime(packets []Packet) {
-	sort.SliceStable(packets, func(i, j int) bool {
-		return packets[i].Time.Before(packets[j].Time)
-	})
+	sort.Stable(byTime(packets))
 }
 
 // Lengths extracts the payload lengths of the packets, in order.

@@ -144,13 +144,33 @@ func ReadRecord(r io.Reader) (Record, error) {
 // whose first record is Application Data. Packets without payload are
 // classified by convention as non-application (pure ACKs, keep-alive
 // probes).
+//
+// The check walks the record headers in place, accepting and rejecting
+// exactly the payloads ParseRecords accepts and rejects, without
+// copying any record body — this runs once per captured packet on the
+// recognizer's hot path.
 func IsAppData(p Packet) bool {
-	if len(p.Payload) < recordHeaderLen {
+	b := p.Payload
+	if len(b) < recordHeaderLen || RecordType(b[0]) != RecordApplicationData {
 		return false
 	}
-	records, err := ParseRecords(p.Payload)
-	if err != nil || len(records) == 0 {
-		return false
+	for len(b) > 0 {
+		if len(b) < recordHeaderLen {
+			return false // truncated record header
+		}
+		switch RecordType(b[0]) {
+		case RecordChangeCipherSpec, RecordAlert, RecordHandshake, RecordApplicationData:
+		default:
+			return false // unknown record type
+		}
+		n := int(binary.BigEndian.Uint16(b[3:5]))
+		if n > maxRecordPayload {
+			return false
+		}
+		if len(b) < recordHeaderLen+n {
+			return false // truncated record payload
+		}
+		b = b[recordHeaderLen+n:]
 	}
-	return records[0].Type == RecordApplicationData
+	return true
 }

@@ -1,0 +1,149 @@
+package radio
+
+import (
+	"math"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/rng"
+)
+
+// Batch sampling: one event in the simulation (a trace recording, a
+// calibration walk, a survey sweep) needs RSSI for a whole series of
+// receiver positions against one transmitter. Evaluating the series in
+// a single pass keeps the deterministic field work (path loss, wall
+// crossings, shadow cells) cache-friendly: consecutive positions of a
+// walking trace land in the same 0.5 m shadow cell about half the
+// time, and repeated positions (a multi-packet scan from one spot)
+// reuse the whole link mean. Every function here draws from src in
+// exactly the order its per-sample counterpart would, so batch and
+// sequential evaluation are bit-identical.
+
+// SampleBatch draws one measurement per receiver position into out
+// (len(out) must equal len(rxs)), equivalent to calling Sample for
+// each position in order. The deterministic link mean is recomputed
+// only when the position changes, and the shadow-cell lookup is
+// skipped while consecutive positions stay in the same cell.
+func (m *Model) SampleBatch(tx floorplan.Position, rxs []floorplan.Position, dev Device, src *rng.Source, out []float64) {
+	p := m.params
+	var (
+		havePrev bool
+		prev     floorplan.Position
+		mean     float64
+
+		haveCell            bool
+		cellF, cellX, cellY int
+		shadow              float64
+	)
+	for i, rx := range rxs {
+		if !havePrev || rx != prev {
+			sh := 0.0
+			if p.ShadowSigma != 0 {
+				cf := rx.Floor
+				cx := int(math.Floor(rx.At.X * 2))
+				cy := int(math.Floor(rx.At.Y * 2))
+				if !haveCell || cf != cellF || cx != cellX || cy != cellY {
+					shadow = m.shadowAt(tx, rx)
+					cellF, cellX, cellY = cf, cx, cy
+					haveCell = true
+				}
+				sh = shadow
+			}
+			mean = m.PathRSSI(tx, rx) + sh
+			prev = rx
+			havePrev = true
+		}
+		v := mean + dev.RxOffset
+		v += src.Uniform(-p.OrientSpread, p.OrientSpread)
+		v += src.Normal(0, p.NoiseSigma*dev.NoiseScale)
+		out[i] = v
+	}
+}
+
+// MeanBatch fills out with the deterministic link mean (path loss,
+// wall loss, shadowing — no device offset, no noise) for every
+// receiver position, with the same position/cell memoization walk as
+// SampleBatch. out[i] is exactly the Mean the sequential path would
+// compute for rxs[i], so a noise pass over these means (see
+// SampleFromMeans) is bit-identical to SampleBatch.
+func (m *Model) MeanBatch(tx floorplan.Position, rxs []floorplan.Position, out []float64) {
+	p := m.params
+	var (
+		havePrev bool
+		prev     floorplan.Position
+		mean     float64
+
+		haveCell            bool
+		cellF, cellX, cellY int
+		shadow              float64
+	)
+	for i, rx := range rxs {
+		if !havePrev || rx != prev {
+			sh := 0.0
+			if p.ShadowSigma != 0 {
+				cf := rx.Floor
+				cx := int(math.Floor(rx.At.X * 2))
+				cy := int(math.Floor(rx.At.Y * 2))
+				if !haveCell || cf != cellF || cx != cellX || cy != cellY {
+					shadow = m.shadowAt(tx, rx)
+					cellF, cellX, cellY = cf, cx, cy
+					haveCell = true
+				}
+				sh = shadow
+			}
+			mean = m.PathRSSI(tx, rx) + sh
+			prev = rx
+			havePrev = true
+		}
+		out[i] = mean
+	}
+}
+
+// SampleFromMeans draws one measurement per precomputed link mean
+// (len(out) must equal len(means)): the noise half of SampleBatch.
+// Applied to a MeanBatch vector with the same src, the result is
+// bit-identical to SampleBatch over the originating positions — the
+// split lets callers memoize the deterministic means of a recurring
+// trace while drawing fresh noise per recording.
+func (m *Model) SampleFromMeans(means []float64, dev Device, src *rng.Source, out []float64) {
+	p := m.params
+	for i, mean := range means {
+		v := mean + dev.RxOffset
+		v += src.Uniform(-p.OrientSpread, p.OrientSpread)
+		v += src.Normal(0, p.NoiseSigma*dev.NoiseScale)
+		out[i] = v
+	}
+}
+
+// SampleRepeat draws len(out) measurements of a single link,
+// equivalent to len(out) Sample calls but computing the deterministic
+// link mean (path loss, wall loss, shadowing) once — the multi-packet
+// BLE scan case, where the phone does not move between packets.
+func (m *Model) SampleRepeat(tx, rx floorplan.Position, dev Device, src *rng.Source, out []float64) {
+	p := m.params
+	base := m.Mean(tx, rx) + dev.RxOffset
+	for i := range out {
+		v := base + src.Uniform(-p.OrientSpread, p.OrientSpread)
+		v += src.Normal(0, p.NoiseSigma*dev.NoiseScale)
+		out[i] = v
+	}
+}
+
+// AverageAtBatch evaluates the AverageAt measurement protocol for
+// every receiver position in one pass, writing into out (len(out)
+// must equal len(rxs)). Value-identical to calling AverageAt per
+// position in order with the same src.
+func (m *Model) AverageAtBatch(tx floorplan.Position, rxs []floorplan.Position, dev Device, src *rng.Source, out []float64) {
+	p := m.params
+	const orientations, perOrientation = 4, 4
+	for i, rx := range rxs {
+		base := m.Mean(tx, rx) + dev.RxOffset
+		var sum float64
+		for o := 0; o < orientations; o++ {
+			orient := src.Uniform(-p.OrientSpread, p.OrientSpread)
+			for k := 0; k < perOrientation; k++ {
+				sum += base + orient + src.Normal(0, p.NoiseSigma*dev.NoiseScale)
+			}
+		}
+		out[i] = sum / (orientations * perOrientation)
+	}
+}

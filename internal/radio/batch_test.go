@@ -1,0 +1,130 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/mobility"
+	"voiceguard/internal/rng"
+)
+
+// tracePositions builds a realistic walking series: the house's "up"
+// stair route sampled every 200 ms, with a few repeated positions
+// (pauses) mixed in.
+func tracePositions(t *testing.T) []floorplan.Position {
+	t.Helper()
+	plan := floorplan.House()
+	path, err := mobility.NewRoutePath(plan.Routes["up"], mobility.DefaultSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]floorplan.Position, 40)
+	path.SampleInto(0, 200*time.Millisecond, out)
+	// Repeat a position mid-series: a pause in the walk.
+	out = append(out, out[len(out)-1], out[len(out)-1])
+	return out
+}
+
+// TestSampleBatchMatchesSequential pins the batch path's bit-identity:
+// same src, same positions must produce the exact floats of a
+// sequential Sample loop.
+func TestSampleBatchMatchesSequential(t *testing.T) {
+	plan := floorplan.House()
+	positions := tracePositions(t)
+	spot, _ := plan.Spot("A")
+	for _, dev := range []Device{Pixel5, GalaxyWatch4} {
+		seq := NewModel(plan, DefaultParams(), 7)
+		batch := NewModel(plan, DefaultParams(), 7)
+
+		srcA := rng.New(99).Split("trace")
+		want := make([]float64, len(positions))
+		for i, pos := range positions {
+			want[i] = seq.Sample(spot.Pos, pos, dev, srcA)
+		}
+
+		srcB := rng.New(99).Split("trace")
+		got := make([]float64, len(positions))
+		batch.SampleBatch(spot.Pos, positions, dev, srcB, got)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s sample %d: batch %v != sequential %v", dev.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSampleBatchZeroShadow covers the ShadowSigma=0 configuration
+// (the noise-sensitivity sweep turns shadowing off).
+func TestSampleBatchZeroShadow(t *testing.T) {
+	plan := floorplan.House()
+	params := DefaultParams()
+	params.ShadowSigma = 0
+	positions := tracePositions(t)
+	spot, _ := plan.Spot("A")
+	m := NewModel(plan, params, 7)
+
+	srcA := rng.New(3).Split("x")
+	want := make([]float64, len(positions))
+	for i, pos := range positions {
+		want[i] = m.Sample(spot.Pos, pos, Pixel5, srcA)
+	}
+	srcB := rng.New(3).Split("x")
+	got := make([]float64, len(positions))
+	m.SampleBatch(spot.Pos, positions, Pixel5, srcB, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: batch %v != sequential %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSampleRepeatMatchesSequential pins the repeated-link fast path.
+func TestSampleRepeatMatchesSequential(t *testing.T) {
+	plan := floorplan.House()
+	spot, _ := plan.Spot("A")
+	rx := plan.MustLocation(plan.Locations[3].ID).Pos
+	m := NewModel(plan, DefaultParams(), 11)
+
+	srcA := rng.New(5).Split("scan")
+	want := make([]float64, 3)
+	for i := range want {
+		want[i] = m.Sample(spot.Pos, rx, Pixel4a, srcA)
+	}
+	srcB := rng.New(5).Split("scan")
+	got := make([]float64, 3)
+	m.SampleRepeat(spot.Pos, rx, Pixel4a, srcB, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: repeat %v != sequential %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAverageAtBatchMatchesSequential pins the survey sweep.
+func TestAverageAtBatchMatchesSequential(t *testing.T) {
+	plan := floorplan.House()
+	spot, _ := plan.Spot("A")
+	var positions []floorplan.Position
+	for _, l := range plan.Locations {
+		if l.Pos.Floor != spot.Pos.Floor {
+			positions = append(positions, l.Pos)
+		}
+	}
+	m := NewModel(plan, DefaultParams(), 13)
+
+	srcA := rng.New(17).Split("survey")
+	want := make([]float64, len(positions))
+	for i, pos := range positions {
+		want[i] = m.AverageAt(spot.Pos, pos, GalaxyWatch4, srcA)
+	}
+	srcB := rng.New(17).Split("survey")
+	got := make([]float64, len(positions))
+	m.AverageAtBatch(spot.Pos, positions, GalaxyWatch4, srcB, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("location %d: batch %v != sequential %v", i, got[i], want[i])
+		}
+	}
+}

@@ -6,30 +6,45 @@ import (
 )
 
 // Shadow-field memoization. The static shadowing of a link is a pure
-// function of the model seed, the transmitter position, and the
-// receiver's 0.5 m grid cell — but the original derivation builds a
-// fmt.Sprintf key and splits a fresh RNG stream on every call, which
-// dominated Mean/Sample profiles. The memo computes that derivation
-// once per (tx, rx-cell) and serves repeats from a sharded map.
+// function of the shadow stream's seed, the shadowing std-dev, the
+// transmitter position, and the receiver's 0.5 m grid cell — but the
+// original derivation builds a fmt.Sprintf key and splits a fresh RNG
+// stream on every call, which dominated Mean/Sample profiles (the
+// split re-seeds a lagged-Fibonacci generator with a 607-step warmup).
+// The memo computes that derivation once per (seed, sigma, tx,
+// rx-cell) and serves repeats from a sharded map.
+//
+// The cache is process-global, not per-model: the key carries
+// everything the derivation reads (notably NOT the floor plan), so two
+// models built with the same seed and sigma — the fault study's nine
+// same-seed profiles, repeated benchmark iterations, the vgbench
+// experiment sweep — share one warmed field instead of each paying the
+// stream-split cost from scratch.
 //
 // Cache hits are bit-identical to the direct derivation: misses still
 // run the original string-keyed Split, so the value stored for a cell
 // is exactly the value the uncached model would return, and two tx
 // positions that collide under the original "%.1f" key formatting
 // compute the same string and therefore the same value.
-//
-// Unlike the wall-loss memo, the key space here is naturally bounded:
-// receivers are quantized to grid cells and transmitters are fixed
-// deployment spots, so no capacity bound is needed.
 
 // shadowShards is a power of two so shard selection is a mask.
 const shadowShards = 32
 
-// shadowKey identifies a (transmitter, receiver-cell) link. The
+// shadowShardCap bounds entries per shard. Deployment spots and seeds
+// are few in practice, but a parameter sweep over many seeds could
+// otherwise grow the global memo without limit; once a shard is full,
+// further misses compute without inserting (correctness unaffected).
+const shadowShardCap = 65536
+
+// shadowKey identifies a shadow-field cell: the derivation's full
+// input. seed is the shadow stream's seed and sigma the shadowing
+// std-dev, so models that differ in either never share values. The
 // transmitter keeps full float precision (finer than the derivation's
 // "%.1f" formatting, which only means two near-identical tx positions
 // may memoize the same value twice — never a different value).
 type shadowKey struct {
+	seed     int64
+	sigma    float64
 	txFloor  int
 	txX, txY float64
 	rxFloor  int
@@ -41,10 +56,14 @@ type shadowShard struct {
 	m  map[shadowKey]float64
 }
 
-// shadowCache is the per-model memo; the zero value is ready to use.
+// shadowCache is the memo; the zero value is ready to use.
 type shadowCache struct {
 	shards [shadowShards]shadowShard
 }
+
+// globalShadows is the process-wide shadow-field memo shared by every
+// Model.
+var globalShadows shadowCache
 
 // shadowMix is a splitmix64-style finalizer spreading keys across
 // shards.
@@ -59,6 +78,7 @@ func shadowMix(x uint64) uint64 {
 
 func (c *shadowCache) shardFor(k shadowKey) *shadowShard {
 	h := uint64(k.txFloor)*0x9e3779b97f4a7c15 + uint64(k.rxFloor)
+	h = shadowMix(h ^ uint64(k.seed))
 	h = shadowMix(h ^ math.Float64bits(k.txX))
 	h = shadowMix(h ^ math.Float64bits(k.txY))
 	h = shadowMix(h ^ uint64(k.cx)<<32 ^ uint64(uint32(k.cy)))
@@ -73,13 +93,16 @@ func (c *shadowCache) get(k shadowKey) (float64, bool) {
 	return v, ok
 }
 
+// put inserts a computed value, unless the shard is at capacity.
 func (c *shadowCache) put(k shadowKey, v float64) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	if s.m == nil {
 		s.m = make(map[shadowKey]float64)
 	}
-	s.m[k] = v
+	if len(s.m) < shadowShardCap {
+		s.m[k] = v
+	}
 	s.mu.Unlock()
 }
 
@@ -89,6 +112,23 @@ func (c *shadowCache) len() int {
 	for i := range c.shards {
 		c.shards[i].mu.RLock()
 		total += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return total
+}
+
+// countFor reports the number of memoized cells belonging to one
+// (seed, sigma) field (for tests; the global cache outlives any one
+// model, so totals alone cannot isolate a model's contribution).
+func (c *shadowCache) countFor(seed int64, sigma float64) int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		for k := range c.shards[i].m {
+			if k.seed == seed && k.sigma == sigma {
+				total++
+			}
+		}
 		c.shards[i].mu.RUnlock()
 	}
 	return total

@@ -25,7 +25,7 @@ func TestShadowCacheBitIdenticalToUncached(t *testing.T) {
 				}
 			}
 		}
-		if model.shadows.len() == 0 {
+		if globalShadows.countFor(model.shadow.Seed(), model.params.ShadowSigma) == 0 {
 			t.Fatalf("%s: shadow cache never populated", plan.Name)
 		}
 	}
@@ -109,7 +109,7 @@ func TestZeroShadowSigmaSkipsCache(t *testing.T) {
 	if model.Mean(spot.Pos, loc.Pos) != model.PathRSSI(spot.Pos, loc.Pos) {
 		t.Fatal("Mean != PathRSSI with zero shadowing")
 	}
-	if model.shadows.len() != 0 {
+	if globalShadows.countFor(model.shadow.Seed(), 0) != 0 {
 		t.Fatal("cache populated despite ShadowSigma == 0")
 	}
 }

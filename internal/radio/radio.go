@@ -84,8 +84,6 @@ type Model struct {
 	plan   *floorplan.Plan
 	params Params
 	shadow *rng.Source
-
-	shadows shadowCache
 }
 
 // NewModel returns a propagation model for the plan. The seed fixes
@@ -101,6 +99,22 @@ func NewModel(plan *floorplan.Plan, params Params, seed int64) *Model {
 
 // Plan returns the floor plan the model was built on.
 func (m *Model) Plan() *floorplan.Plan { return m.plan }
+
+// ModelIdent is a comparable value identifying everything a Model's
+// deterministic field (Mean) depends on: the plan instance, the
+// parameters, and the shadow-stream seed. Two models with equal
+// ModelIdent return identical Mean for every link, so ModelIdent is a
+// valid memoization key for derived deterministic quantities.
+type ModelIdent struct {
+	plan   *floorplan.Plan
+	params Params
+	seed   int64
+}
+
+// Ident returns the model's deterministic-field identity.
+func (m *Model) Ident() ModelIdent {
+	return ModelIdent{plan: m.plan, params: m.params, seed: m.shadow.Seed()}
+}
 
 // Params returns the model's parameters.
 func (m *Model) Params() Params { return m.params }
@@ -152,23 +166,26 @@ func (m *Model) Mean(tx, rx floorplan.Position) float64 {
 // shadowAt returns the static shadowing (dB) for the link, keyed by
 // the transmitter position and the receiver's 0.5 m grid cell so that
 // nearby receiver positions share a shadow value (spatial coherence
-// for walking traces). Values are memoized per (tx, rx-cell); hits
-// are bit-identical to the uncached derivation (see cache.go).
+// for walking traces). Values are memoized in a process-global cache
+// keyed by the shadow stream's seed and sigma, so same-seed models
+// share the warmed field; hits are bit-identical to the uncached
+// derivation (see cache.go).
 func (m *Model) shadowAt(tx, rx floorplan.Position) float64 {
 	if m.params.ShadowSigma == 0 {
 		return 0
 	}
 	key := shadowKey{
+		seed: m.shadow.Seed(), sigma: m.params.ShadowSigma,
 		txFloor: tx.Floor, txX: tx.At.X, txY: tx.At.Y,
 		rxFloor: rx.Floor,
 		cx:      int(math.Floor(rx.At.X * 2)),
 		cy:      int(math.Floor(rx.At.Y * 2)),
 	}
-	if v, ok := m.shadows.get(key); ok {
+	if v, ok := globalShadows.get(key); ok {
 		return v
 	}
 	v := m.shadowAtUncached(tx, rx)
-	m.shadows.put(key, v)
+	globalShadows.put(key, v)
 	return v
 }
 

@@ -33,8 +33,8 @@ type SignatureLearner struct {
 	MaxLength int
 
 	labelled map[string]bool // addresses resolved from Domain
-	flows    map[string]*learnFlow
-	lastFlow string // most recent labelled flow, finalised when superseded
+	flows    map[pcap.FlowID]*learnFlow
+	lastFlow pcap.FlowID // most recent labelled flow, finalised when superseded
 	examples [][]int
 	sig      []int
 }
@@ -54,7 +54,7 @@ func NewSignatureLearner(speakerIP, domain string) *SignatureLearner {
 		MinLength:   5,
 		MaxLength:   16,
 		labelled:    make(map[string]bool),
-		flows:       make(map[string]*learnFlow),
+		flows:       make(map[pcap.FlowID]*learnFlow),
 	}
 }
 
@@ -81,7 +81,7 @@ func (l *SignatureLearner) Observe(p pcap.Packet) bool {
 	if !pcap.IsAppData(p) {
 		return false
 	}
-	key := p.FlowKey()
+	key := p.Flow()
 	f, ok := l.flows[key]
 	changed := false
 	if !ok {
@@ -108,7 +108,7 @@ func (l *SignatureLearner) Observe(p pcap.Packet) bool {
 
 // finalize completes a still-pending flow if it recorded enough
 // lengths to be a useful example.
-func (l *SignatureLearner) finalize(key string) bool {
+func (l *SignatureLearner) finalize(key pcap.FlowID) bool {
 	f, ok := l.flows[key]
 	if !ok || f.done {
 		return false
@@ -222,7 +222,7 @@ func (t *AdaptiveTracker) Observe(p pcap.Packet) bool {
 			t.AVSTracker.Signature = sig
 			// Restart in-progress matching: old partial matches were
 			// against the stale signature.
-			t.AVSTracker.flows = make(map[string]*sigFlow)
+			t.AVSTracker.flows = make(map[pcap.FlowID]*sigFlow)
 		}
 	}
 	return t.AVSTracker.Observe(p)

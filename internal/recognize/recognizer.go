@@ -225,8 +225,8 @@ func (r *Recognizer) isVoiceFlow(p pcap.Packet) bool {
 	if p.SrcIP != r.SpeakerIP || p.Proto != pcap.TCP {
 		return false
 	}
-	addr, ok := r.Tracker.Current()
-	if !ok || p.DstIP != addr.String() {
+	addr, ok := r.Tracker.CurrentIP()
+	if !ok || p.DstIP != addr {
 		return false
 	}
 	return pcap.IsAppData(p)

@@ -33,9 +33,10 @@ type AVSTracker struct {
 	UseDNS       bool
 	UseSignature bool
 
-	current netip.Addr
-	ok      bool
-	flows   map[string]*sigFlow
+	current    netip.Addr
+	currentStr string
+	ok         bool
+	flows      map[pcap.FlowID]*sigFlow
 }
 
 // sigFlow is the per-flow signature matching state.
@@ -54,12 +55,17 @@ func NewAVSTracker(speakerIP, domain string, signature []int) *AVSTracker {
 		Signature:    append([]int(nil), signature...),
 		UseDNS:       true,
 		UseSignature: true,
-		flows:        make(map[string]*sigFlow),
+		flows:        make(map[pcap.FlowID]*sigFlow),
 	}
 }
 
 // Current returns the tracked server address, if known.
 func (t *AVSTracker) Current() (netip.Addr, bool) { return t.current, t.ok }
+
+// CurrentIP returns the tracked server address in the capture's
+// string form, if known. The string is cached when the address is
+// learned, so per-packet flow checks avoid re-formatting it.
+func (t *AVSTracker) CurrentIP() (string, bool) { return t.currentStr, t.ok }
 
 // ForceAddress pins the tracked server address. The wire-plane guard
 // sits inline between one speaker and its cloud endpoint, so the
@@ -89,7 +95,7 @@ func (t *AVSTracker) Observe(p pcap.Packet) bool {
 
 // observeSignature advances per-flow signature matching.
 func (t *AVSTracker) observeSignature(p pcap.Packet) bool {
-	key := p.FlowKey()
+	key := p.Flow()
 	f, exists := t.flows[key]
 	if !exists {
 		f = &sigFlow{dst: p.DstIP}
@@ -122,6 +128,7 @@ func (t *AVSTracker) set(addr netip.Addr) bool {
 		return false
 	}
 	t.current = addr
+	t.currentStr = addr.String()
 	t.ok = true
 	return true
 }

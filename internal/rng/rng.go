@@ -16,6 +16,12 @@ import (
 
 // Source is a deterministic random stream that supports
 // order-independent splitting into labelled child streams.
+//
+// The underlying generator is seeded lazily, on the first draw: the
+// math/rand lagged-Fibonacci source pays a ~600-step warmup per seed,
+// which is pure waste for the many split children that are created,
+// consulted for their seed (memoized path and shadow-field lookups),
+// and never drawn from.
 type Source struct {
 	r    *rand.Rand
 	seed int64
@@ -23,11 +29,24 @@ type Source struct {
 
 // New returns a stream seeded with seed.
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed)), seed: seed}
+	return &Source{seed: seed}
+}
+
+// rand returns the underlying generator, seeding it on first use.
+func (s *Source) rand() *rand.Rand {
+	if s.r == nil {
+		s.r = rand.New(rand.NewSource(s.seed))
+	}
+	return s.r
 }
 
 // Seed reports the seed this stream was created with.
 func (s *Source) Seed() int64 { return s.seed }
+
+// Fresh reports whether the stream has never been drawn from, i.e.
+// its future output is still a pure function of Seed. Memoization
+// keyed by Seed is only valid for fresh streams.
+func (s *Source) Fresh() bool { return s.r == nil }
 
 // Split derives an independent child stream keyed by label. Splitting
 // is a pure function of the parent seed and the label — it does not
@@ -48,25 +67,25 @@ func (s *Source) SplitN(label string, n int) *Source {
 }
 
 // Float64 returns a uniform value in [0, 1).
-func (s *Source) Float64() float64 { return s.r.Float64() }
+func (s *Source) Float64() float64 { return s.rand().Float64() }
 
 // IntN returns a uniform int in [0, n). n must be > 0.
-func (s *Source) IntN(n int) int { return s.r.Intn(n) }
+func (s *Source) IntN(n int) int { return s.rand().Intn(n) }
 
 // Uniform returns a uniform value in [lo, hi).
 func (s *Source) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*s.r.Float64()
+	return lo + (hi-lo)*s.rand().Float64()
 }
 
 // Normal returns a normally distributed value with the given mean and
 // standard deviation.
 func (s *Source) Normal(mean, std float64) float64 {
-	return mean + std*s.r.NormFloat64()
+	return mean + std*s.rand().NormFloat64()
 }
 
 // Exp returns an exponentially distributed value with the given mean.
 func (s *Source) Exp(mean float64) float64 {
-	return s.r.ExpFloat64() * mean
+	return s.rand().ExpFloat64() * mean
 }
 
 // LogNormal returns a log-normally distributed value parameterised by
@@ -76,13 +95,13 @@ func (s *Source) LogNormal(mu, sigma float64) float64 {
 }
 
 // Bool returns true with probability p.
-func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+func (s *Source) Bool(p float64) bool { return s.rand().Float64() < p }
 
 // Perm returns a random permutation of [0, n).
-func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+func (s *Source) Perm(n int) []int { return s.rand().Perm(n) }
 
 // Shuffle randomizes the order of n elements using swap.
-func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rand().Shuffle(n, swap) }
 
 // Pick returns a uniformly chosen element of xs. It panics if xs is
 // empty, mirroring slice indexing semantics.

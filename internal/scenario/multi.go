@@ -85,12 +85,23 @@ func RunMulti(cfg Config) (*MultiOutcome, error) {
 	for i := 0; i < commandsPer; i++ {
 		malicious := src.Bool(float64(cfg.AttackPerDay) / float64(cfg.LegitPerDay+cfg.AttackPerDay))
 		for _, r := range []*run{echoRun, ghmRun} {
-			r.clock.Advance(time.Duration(src.Uniform(300, 1500)) * time.Second)
-			if malicious {
-				r.attackCommand(i, src)
-			} else {
-				r.legitCommand(i, src)
-			}
+			// The inter-home gap routes through the event heap: the
+			// command is scheduled as a clock event and the clock runs
+			// up to it, so fleet-style runs interleave with pending
+			// push wake-ups and timers instead of bypassing the
+			// scheduler. Pending events due before the command keep
+			// their lower sequence numbers, so firing order matches
+			// the old advance-then-call flow exactly.
+			r, i := r, i
+			at := r.clock.Now().Add(time.Duration(src.Uniform(300, 1500)) * time.Second)
+			r.clock.Schedule(at, func() {
+				if malicious {
+					r.attackCommand(i, src)
+				} else {
+					r.legitCommand(i, src)
+				}
+			})
+			r.clock.RunUntil(at)
 			out.Commands++
 		}
 	}

@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"voiceguard/internal/faults"
+	"voiceguard/internal/floorplan"
+	"voiceguard/internal/guard"
+	"voiceguard/internal/parallel"
+	"voiceguard/internal/radio"
+)
+
+// faultProfile returns the named standard fault profile.
+func faultProfile(t *testing.T, name string) *faults.Profile {
+	t.Helper()
+	for _, p := range faults.Profiles() {
+		if p.Name == name {
+			return &p
+		}
+	}
+	t.Fatalf("no fault profile %q", name)
+	return nil
+}
+
+// referenceConfigs covers the simulator surface the event loop
+// replaced: both speakers, both testbeds' device mixes, background
+// traffic, and an injected push-channel fault profile.
+func referenceConfigs(t *testing.T) map[string]Config {
+	drop20 := faultProfile(t, "drop20")
+	return map[string]Config{
+		"house-echo": {
+			Plan: floorplan.House(), Spot: "A", Speaker: Echo,
+			Devices: []DeviceSpec{
+				{ID: "pixel5", Hardware: radio.Pixel5},
+				{ID: "pixel4a", Hardware: radio.Pixel4a},
+			},
+			Days: 2, Seed: 11,
+		},
+		"house-ghm-background": {
+			Plan: floorplan.House(), Spot: "B", Speaker: GHM,
+			Devices: []DeviceSpec{
+				{ID: "pixel5", Hardware: radio.Pixel5},
+			},
+			Days: 2, Seed: 12, BackgroundTraffic: true,
+		},
+		"apartment-watch": {
+			Plan: floorplan.Apartment(), Spot: "A", Speaker: Echo,
+			Devices: []DeviceSpec{
+				{ID: "watch4", Hardware: radio.GalaxyWatch4},
+			},
+			Days: 2, Seed: 13,
+		},
+		"house-echo-drop20": {
+			Plan: floorplan.House(), Spot: "A", Speaker: Echo,
+			Devices: []DeviceSpec{
+				{ID: "pixel5", Hardware: radio.Pixel5},
+				{ID: "pixel4a", Hardware: radio.Pixel4a},
+			},
+			Days: 2, Seed: 14,
+			Faults:   drop20,
+			Degraded: guard.DegradedFailClosed,
+		},
+	}
+}
+
+// TestEventLoopMatchesReference pins the discrete-event day loop to
+// the retained tick-path oracle: for a fixed seed the two must produce
+// bit-identical outcomes — every command record, threshold, confusion
+// cell, and trace counter — across speakers, testbeds, background
+// traffic, and injected faults.
+func TestEventLoopMatchesReference(t *testing.T) {
+	for name, cfg := range referenceConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			event, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			ref, err := RunReference(cfg)
+			if err != nil {
+				t.Fatalf("RunReference: %v", err)
+			}
+			if len(event.Records) == 0 {
+				t.Fatal("event-driven run produced no command records")
+			}
+			if !reflect.DeepEqual(event, ref) {
+				t.Errorf("event-driven outcome diverges from reference tick path")
+				if !reflect.DeepEqual(event.Confusion, ref.Confusion) {
+					t.Errorf("confusion: event %+v, reference %+v", event.Confusion, ref.Confusion)
+				}
+				if !reflect.DeepEqual(event.Thresholds, ref.Thresholds) {
+					t.Errorf("thresholds: event %v, reference %v", event.Thresholds, ref.Thresholds)
+				}
+				for i := range event.Records {
+					if i < len(ref.Records) && !reflect.DeepEqual(event.Records[i], ref.Records[i]) {
+						t.Errorf("first diverging record %d: event %+v, reference %+v",
+							i, event.Records[i], ref.Records[i])
+						break
+					}
+				}
+				if len(event.Records) != len(ref.Records) {
+					t.Errorf("record counts: event %d, reference %d", len(event.Records), len(ref.Records))
+				}
+			}
+		})
+	}
+}
+
+// TestRunWorkerCountInvariant pins the event-driven runner's outcome
+// against the size of the shared worker pool: a multi-day run must be
+// bit-identical whether the process parallelises across 1 or 8
+// workers (the memo layers underneath — shadow field, paths, trace
+// means — are shared mutable state exercised concurrently).
+func TestRunWorkerCountInvariant(t *testing.T) {
+	cfg := referenceConfigs(t)["house-echo"]
+	var serial, parallelRun *Outcome
+	withWorkers(t, 1, func() {
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run (1 worker): %v", err)
+		}
+		serial = out
+	})
+	withWorkers(t, 8, func() {
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run (8 workers): %v", err)
+		}
+		parallelRun = out
+	})
+	if !reflect.DeepEqual(serial, parallelRun) {
+		t.Errorf("outcome depends on worker count: 1-worker confusion %+v, 8-worker %+v",
+			serial.Confusion, parallelRun.Confusion)
+	}
+}
+
+// TestFaultStudyWorkerCountInvariant runs the drop20 fault study —
+// which fans its per-profile runs across the worker pool — under two
+// pool sizes and requires bit-identical points.
+func TestFaultStudyWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-profile fault study")
+	}
+	study := FaultStudyConfig{
+		Profiles: []faults.Profile{faults.None(), *faultProfile(t, "drop20")},
+		Days:     2,
+		Seed:     7,
+	}
+	var one, eight []FaultPoint
+	withWorkers(t, 1, func() {
+		pts, err := FaultStudy(study)
+		if err != nil {
+			t.Fatalf("FaultStudy (1 worker): %v", err)
+		}
+		one = pts
+	})
+	withWorkers(t, 8, func() {
+		pts, err := FaultStudy(study)
+		if err != nil {
+			t.Fatalf("FaultStudy (8 workers): %v", err)
+		}
+		eight = pts
+	})
+	if !reflect.DeepEqual(one, eight) {
+		t.Errorf("fault study depends on worker count:\n1 worker: %+v\n8 workers: %+v", one, eight)
+	}
+}
+
+var _ = parallel.SetWorkers // withWorkers helper lives in parallel_test.go

@@ -191,10 +191,15 @@ type run struct {
 	dwellLocs    []int
 	bleedCeiling float64 // strongest off-floor survey reading + margin
 
+	agenda agenda // event-driven day schedule (events.go)
+
 	outcome *Outcome
 }
 
-// Run executes the experiment.
+// Run executes the experiment on the event-driven scheduler: each
+// day's command slots live on a binary heap keyed (time, sequence) and
+// the simulated clock jumps straight from event to event (see
+// events.go).
 func Run(cfg Config) (*Outcome, error) {
 	r, err := newRun(cfg)
 	if err != nil {
@@ -202,6 +207,22 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	for day := 0; day < r.cfg.Days; day++ {
 		r.runDay(day)
+	}
+	return r.outcome, nil
+}
+
+// RunReference executes the experiment with the retained pre-scheduler
+// reference loop: command slots walked in sorted order through the
+// same per-slot clamp and background-cut semantics. It exists as the
+// bit-identity oracle for the event-driven path — same seed, same
+// config must produce a deep-equal Outcome from both entry points.
+func RunReference(cfg Config) (*Outcome, error) {
+	r, err := newRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for day := 0; day < r.cfg.Days; day++ {
+		r.runDayReference(day)
 	}
 	return r.outcome, nil
 }
@@ -321,20 +342,25 @@ func (r *run) surveyBleedThrough() bool {
 	o := r.owners[0]
 	threshold := r.outcome.Thresholds[o.spec.ID]
 	surveySrc := r.root.Split("bleed-survey")
-	exists := false
-	ceiling := 0.0
-	first := true
+	// All off-floor locations are measured in one batched pass
+	// (value-identical to the per-location sweep it replaces).
+	var positions []floorplan.Position
 	for _, l := range r.cfg.Plan.Locations {
 		if l.Pos.Floor == r.spot.Pos.Floor {
 			continue
 		}
-		v := r.model.AverageAt(r.spot.Pos, l.Pos, o.spec.Hardware, surveySrc)
+		positions = append(positions, l.Pos)
+	}
+	values := make([]float64, len(positions))
+	r.model.AverageAtBatch(r.spot.Pos, positions, o.spec.Hardware, surveySrc, values)
+	exists := false
+	ceiling := 0.0
+	for i, v := range values {
 		if v >= threshold {
 			exists = true
 		}
-		if first || v > ceiling {
+		if i == 0 || v > ceiling {
 			ceiling = v
-			first = false
 		}
 	}
 	// A safety margin absorbs measurement noise around the strongest
@@ -499,9 +525,12 @@ func (r *run) locPos(id int) floorplan.Position {
 	return r.cfg.Plan.MustLocation(id).Pos
 }
 
-// runDay simulates one day: a shuffled schedule of legitimate and
-// malicious commands at random times in a 16-hour window.
-func (r *run) runDay(day int) {
+// runDayReference simulates one day with the pre-scheduler reference
+// loop: a sorted schedule of legitimate and malicious commands at
+// random times in a 16-hour window, walked point by point. Kept (and
+// exercised by RunReference) purely as the determinism oracle for the
+// event-driven runDay in events.go — the two must stay bit-identical.
+func (r *run) runDayReference(day int) {
 	daySrc := r.root.SplitN("day", day)
 	type slot struct {
 		at        time.Duration
@@ -686,7 +715,7 @@ func (r *run) stairEvent(climber *owner, route floorplan.Route, wantClass decisi
 // outcome.
 func (r *run) issue(day int, malicious bool, ownerLoc int, src *rng.Source) {
 	start := r.clock.Now()
-	before := len(r.guard.Events())
+	before := r.guard.EventCount()
 
 	var packets []pcap.Packet
 	if r.cfg.Speaker == GHM {
@@ -710,7 +739,7 @@ func (r *run) issue(day int, malicious bool, ownerLoc int, src *rng.Source) {
 		OwnerLoc:  ownerLoc,
 		Command:   command,
 	}
-	for _, e := range r.guard.Events()[before:] {
+	for _, e := range r.guard.EventsSince(before) {
 		if e.Kind != guard.EventCommand {
 			continue
 		}

@@ -74,3 +74,74 @@ func TestAdvanceNeverMovesBackwards(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRescheduleMatchesCancelPlusSchedule property-checks that
+// Reschedule is observationally identical to the Cancel-then-Schedule
+// idiom it replaces: same firing order, same timestamps, same sequence
+// numbering — for any interleaving of schedules and re-arms.
+func TestRescheduleMatchesCancelPlusSchedule(t *testing.T) {
+	type op struct {
+		Delay uint8
+		Rearm bool // re-arm the most recent event instead of scheduling a new one
+	}
+	f := func(ops []op) bool {
+		runA := func() []string {
+			s := NewSim(epoch)
+			var log []string
+			var last *Event
+			record := func(tag int) func() {
+				return func() { log = append(log, s.Now().String()+"#"+string(rune('a'+tag%26))) }
+			}
+			for i, o := range ops {
+				at := s.Now().Add(time.Duration(o.Delay) * time.Millisecond)
+				if o.Rearm && last != nil {
+					last = s.Reschedule(last, at)
+				} else {
+					last = s.Schedule(at, record(i))
+				}
+				if o.Delay%3 == 0 {
+					s.Advance(time.Duration(o.Delay) * time.Millisecond / 2)
+				}
+			}
+			s.Run()
+			return log
+		}
+		runB := func() []string {
+			s := NewSim(epoch)
+			var log []string
+			var last *Event
+			var lastFn func()
+			record := func(tag int) func() {
+				return func() { log = append(log, s.Now().String()+"#"+string(rune('a'+tag%26))) }
+			}
+			for i, o := range ops {
+				at := s.Now().Add(time.Duration(o.Delay) * time.Millisecond)
+				if o.Rearm && last != nil {
+					last.Cancel()
+					last = s.Schedule(at, lastFn)
+				} else {
+					lastFn = record(i)
+					last = s.Schedule(at, lastFn)
+				}
+				if o.Delay%3 == 0 {
+					s.Advance(time.Duration(o.Delay) * time.Millisecond / 2)
+				}
+			}
+			s.Run()
+			return log
+		}
+		a, b := runA(), runB()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

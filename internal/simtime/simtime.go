@@ -7,10 +7,7 @@
 // microseconds and replay identically for a given seed.
 package simtime
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Clock supplies the current time. Production code uses Real; the
 // simulation uses *Sim.
@@ -32,15 +29,20 @@ type Event struct {
 	seq uint64
 	fn  func()
 
-	index     int
+	owner     *Sim
+	index     int // heap slot, or -1 when not queued
 	cancelled bool
 }
 
 // Cancel prevents the event from firing. Cancelling an event that has
 // already fired (or was already cancelled) is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.owner != nil && e.index >= 0 {
+		e.owner.live--
 	}
 }
 
@@ -53,6 +55,7 @@ func (e *Event) At() time.Time { return e.at }
 type Sim struct {
 	now    time.Time
 	nextID uint64
+	live   int
 	queue  eventQueue
 }
 
@@ -74,8 +77,43 @@ func (s *Sim) Schedule(at time.Time, fn func()) *Event {
 		at = s.now
 	}
 	s.nextID++
-	ev := &Event{at: at, seq: s.nextID, fn: fn}
-	heap.Push(&s.queue, ev)
+	ev := &Event{at: at, seq: s.nextID, fn: fn, owner: s}
+	s.queue.push(ev)
+	s.live++
+	return ev
+}
+
+// Reschedule moves an existing event to a new time, reusing its
+// callback and storage. It is exactly equivalent to
+//
+//	ev.Cancel()
+//	ev = s.Schedule(at, fn)
+//
+// — the event takes a fresh sequence number, so FIFO ordering among
+// equal timestamps matches the cancel-and-schedule idiom bit for bit —
+// but performs no allocation, which matters on per-packet paths such
+// as the guard's idle-gap timer. The event may be live, cancelled, or
+// already fired; in every case it ends up scheduled at at (clamped to
+// now, like Schedule).
+func (s *Sim) Reschedule(ev *Event, at time.Time) *Event {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.nextID++
+	ev.at = at
+	ev.seq = s.nextID
+	ev.owner = s
+	if ev.index >= 0 {
+		if ev.cancelled {
+			ev.cancelled = false
+			s.live++
+		}
+		s.queue.fix(ev.index)
+	} else {
+		ev.cancelled = false
+		s.queue.push(ev)
+		s.live++
+	}
 	return ev
 }
 
@@ -90,7 +128,7 @@ func (s *Sim) Every(period time.Duration, fn func()) *Event {
 	// The ticker is represented by a self-rescheduling event. The
 	// handle returned to the caller is a proxy whose Cancel stops the
 	// chain.
-	proxy := &Event{}
+	proxy := &Event{index: -1}
 	var tick func()
 	tick = func() {
 		if proxy.cancelled {
@@ -120,31 +158,42 @@ func (s *Sim) AdvanceTo(t time.Time) {
 	if t.Before(s.now) {
 		return
 	}
-	for len(s.queue) > 0 {
-		next := s.queue[0]
+	for len(s.queue.evs) > 0 {
+		next := s.queue.evs[0]
 		if next.at.After(t) {
 			break
 		}
-		heap.Pop(&s.queue)
+		s.queue.popMin()
 		if next.cancelled {
 			continue
 		}
-		s.now = next.at
+		s.live--
+		// An event callback may itself advance the clock (a scheduled
+		// command feeds packets and settles timers); never move it
+		// backwards afterwards.
+		if next.at.After(s.now) {
+			s.now = next.at
+		}
 		next.fn()
 	}
-	s.now = t
+	if t.After(s.now) {
+		s.now = t
+	}
 }
 
 // Run executes events until the queue is empty, advancing the clock to
 // each event's timestamp. Self-rescheduling events (Every) make Run
 // non-terminating; use RunUntil for those workloads.
 func (s *Sim) Run() {
-	for len(s.queue) > 0 {
-		next := heap.Pop(&s.queue).(*Event)
+	for len(s.queue.evs) > 0 {
+		next := s.queue.popMin()
 		if next.cancelled {
 			continue
 		}
-		s.now = next.at
+		s.live--
+		if next.at.After(s.now) {
+			s.now = next.at
+		}
 		next.fn()
 	}
 }
@@ -152,47 +201,123 @@ func (s *Sim) Run() {
 // RunUntil executes due events and stops once the clock reaches t.
 func (s *Sim) RunUntil(t time.Time) { s.AdvanceTo(t) }
 
-// Pending reports the number of live (non-cancelled) events in the
-// queue.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.cancelled {
-			n++
+// Step fires the single next live event, advancing the clock to its
+// timestamp, and reports whether an event ran. The queue may hold
+// cancelled events; Step discards them without running anything.
+func (s *Sim) Step() bool {
+	for len(s.queue.evs) > 0 {
+		next := s.queue.popMin()
+		if next.cancelled {
+			continue
 		}
+		s.live--
+		if next.at.After(s.now) {
+			s.now = next.at
+		}
+		next.fn()
+		return true
 	}
-	return n
+	return false
 }
 
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+// NextAt reports the timestamp of the next live event, if any. It
+// prunes already-cancelled events from the top of the queue, so a
+// caller can jump the clock straight to the returned time.
+func (s *Sim) NextAt() (time.Time, bool) {
+	for len(s.queue.evs) > 0 && s.queue.evs[0].cancelled {
+		s.queue.popMin()
 	}
-	return q[i].seq < q[j].seq
+	if len(s.queue.evs) == 0 {
+		return time.Time{}, false
+	}
+	return s.queue.evs[0].at, true
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Pending reports the number of live (non-cancelled) events in the
+// queue. It is O(1): the count is maintained by Schedule, Reschedule,
+// Cancel, and event dispatch.
+func (s *Sim) Pending() int { return s.live }
+
+// eventQueue is a hand-rolled min-heap on (at, seq). A typed heap
+// avoids the interface boxing of container/heap, which costs an
+// allocation per push on the simulator's hottest path (per-packet
+// timer arming).
+type eventQueue struct {
+	evs []*Event
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.evs[i], q.evs[j]
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.seq < b.seq
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+func (q *eventQueue) swap(i, j int) {
+	q.evs[i], q.evs[j] = q.evs[j], q.evs[i]
+	q.evs[i].index = i
+	q.evs[j].index = j
+}
+
+func (q *eventQueue) push(ev *Event) {
+	ev.index = len(q.evs)
+	q.evs = append(q.evs, ev)
+	q.up(ev.index)
+}
+
+// popMin removes and returns the root of the heap. The removed event's
+// index is set to -1 so Reschedule can tell fired events from queued
+// ones.
+func (q *eventQueue) popMin() *Event {
+	ev := q.evs[0]
+	n := len(q.evs) - 1
+	q.evs[0] = q.evs[n]
+	q.evs[0].index = 0
+	q.evs[n] = nil
+	q.evs = q.evs[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	ev.index = -1
 	return ev
+}
+
+// fix restores heap order after the event at slot i changed its key.
+func (q *eventQueue) fix(i int) {
+	if !q.down(i) {
+		q.up(i)
+	}
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) bool {
+	start := i
+	n := len(q.evs)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q.swap(i, min)
+		i = min
+	}
+	return i > start
 }

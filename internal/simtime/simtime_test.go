@@ -176,3 +176,122 @@ func TestRealClockMonotone(t *testing.T) {
 		t.Fatal("real clock went backwards")
 	}
 }
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	s := NewSim(epoch)
+	var at time.Time
+	ev := s.After(time.Second, func() { at = s.Now() })
+	s.Reschedule(ev, epoch.Add(5*time.Second))
+	s.Advance(2 * time.Second)
+	if !at.IsZero() {
+		t.Fatal("rescheduled event fired at its old time")
+	}
+	s.Advance(10 * time.Second)
+	if want := epoch.Add(5 * time.Second); !at.Equal(want) {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+}
+
+func TestRescheduleRevivesCancelledAndFiredEvents(t *testing.T) {
+	s := NewSim(epoch)
+	count := 0
+	ev := s.After(time.Second, func() { count++ })
+	ev.Cancel()
+	s.Reschedule(ev, epoch.Add(2*time.Second))
+	s.Advance(3 * time.Second)
+	if count != 1 {
+		t.Fatalf("revived event fired %d times, want 1", count)
+	}
+	// Fire again after it already ran.
+	s.Reschedule(ev, s.Now().Add(time.Second))
+	s.Advance(2 * time.Second)
+	if count != 2 {
+		t.Fatalf("re-armed fired event ran %d times, want 2", count)
+	}
+}
+
+func TestReschedulePastClampsToNow(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(time.Minute)
+	fired := false
+	ev := s.After(time.Hour, func() { fired = true })
+	s.Reschedule(ev, epoch) // in the past
+	s.Advance(0)
+	if !fired {
+		t.Fatal("past-rescheduled event did not fire")
+	}
+}
+
+func TestRescheduleTakesFreshSeq(t *testing.T) {
+	// A rescheduled event must order FIFO *after* events scheduled
+	// between its original arming and the reschedule — exactly like
+	// Cancel + Schedule would.
+	s := NewSim(epoch)
+	var order []string
+	at := epoch.Add(time.Second)
+	ev := s.Schedule(at, func() { order = append(order, "rearmed") })
+	s.Schedule(at, func() { order = append(order, "later") })
+	s.Reschedule(ev, at)
+	s.Run()
+	if len(order) != 2 || order[0] != "later" || order[1] != "rearmed" {
+		t.Fatalf("order = %v, want [later rearmed]", order)
+	}
+}
+
+func TestStepFiresSingleEvent(t *testing.T) {
+	s := NewSim(epoch)
+	var order []int
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	ev := s.After(1*time.Second, func() { order = append(order, 1) })
+	ev.Cancel()
+	if !s.Step() {
+		t.Fatal("Step found no event")
+	}
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("order = %v, want [2]", order)
+	}
+	if want := epoch.Add(2 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("clock at %v, want %v", s.Now(), want)
+	}
+	if s.Step() {
+		t.Fatal("Step fired on an empty queue")
+	}
+}
+
+func TestNextAtSkipsCancelled(t *testing.T) {
+	s := NewSim(epoch)
+	ev := s.After(1*time.Second, func() {})
+	s.After(3*time.Second, func() {})
+	ev.Cancel()
+	at, ok := s.NextAt()
+	if !ok || !at.Equal(epoch.Add(3*time.Second)) {
+		t.Fatalf("NextAt = %v %v, want 3s true", at, ok)
+	}
+	s.Advance(time.Minute)
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("NextAt reported an event on a drained queue")
+	}
+}
+
+func TestPendingTracksLifecycle(t *testing.T) {
+	s := NewSim(epoch)
+	ev1 := s.After(time.Second, func() {})
+	ev2 := s.After(2*time.Second, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	ev1.Cancel()
+	ev1.Cancel() // double-cancel must not double-decrement
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+	s.Reschedule(ev1, epoch.Add(3*time.Second))
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending after revive = %d, want 2", got)
+	}
+	s.Advance(time.Minute)
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+	_ = ev2
+}

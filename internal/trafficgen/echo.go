@@ -50,7 +50,8 @@ type Echo struct {
 	src       *rng.Source
 	signature []int // current AVS connect signature
 	avsAddr   netip.Addr
-	avsPort   int // speaker source port of the live AVS connection
+	avsIP     string // avsAddr.String(), cached per reconnect
+	avsPort   int    // speaker source port of the live AVS connection
 	nextPort  int
 	nextIP    int
 }
@@ -66,6 +67,7 @@ func NewEcho(src *rng.Source) *Echo {
 		nextIP:      1,
 	}
 	e.avsAddr = e.newAVSAddr()
+	e.avsIP = e.avsAddr.String()
 	e.avsPort = e.newPort()
 	return e
 }
@@ -155,6 +157,7 @@ func (e *Echo) Boot(t time.Time) ([]pcap.Packet, error) {
 // the case that defeats DNS-only tracking.
 func (e *Echo) Reconnect(t time.Time, withDNS bool) ([]pcap.Packet, error) {
 	e.avsAddr = e.newAVSAddr()
+	e.avsIP = e.avsAddr.String()
 	e.avsPort = e.newPort()
 	var out []pcap.Packet
 	if withDNS {
@@ -174,7 +177,7 @@ func (e *Echo) Reconnect(t time.Time, withDNS bool) ([]pcap.Packet, error) {
 func (e *Echo) Heartbeats(t time.Time, dur time.Duration) []pcap.Packet {
 	var out []pcap.Packet
 	for off := HeartbeatInterval; off <= dur; off += HeartbeatInterval {
-		out = append(out, appDataPacket(t.Add(off), EchoIP, e.avsPort, e.avsAddr.String(), TLSPort, HeartbeatLen))
+		out = append(out, appDataPacket(t.Add(off), EchoIP, e.avsPort, e.avsIP, TLSPort, HeartbeatLen))
 	}
 	return out
 }
@@ -298,7 +301,7 @@ func (e *Echo) responseSpike(t time.Time) ([]pcap.Packet, time.Time) {
 func (e *Echo) emitSpike(t time.Time, lengths []int) ([]pcap.Packet, time.Time) {
 	out := make([]pcap.Packet, 0, len(lengths))
 	for _, l := range lengths {
-		out = append(out, appDataPacket(t, EchoIP, e.avsPort, e.avsAddr.String(), TLSPort, l))
+		out = append(out, appDataPacket(t, EchoIP, e.avsPort, e.avsIP, TLSPort, l))
 		t = t.Add(intraSpikeGap(e.src))
 	}
 	return out, out[len(out)-1].Time

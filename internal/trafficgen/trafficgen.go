@@ -21,6 +21,8 @@ package trafficgen
 import (
 	"fmt"
 	"net/netip"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"voiceguard/internal/pcap"
@@ -117,7 +119,11 @@ type Invocation struct {
 
 // All returns every packet of the invocation in time order.
 func (inv Invocation) All() []pcap.Packet {
-	var out []pcap.Packet
+	n := len(inv.Setup)
+	for _, s := range inv.Spikes {
+		n += len(s.Packets)
+	}
+	out := make([]pcap.Packet, 0, n)
 	out = append(out, inv.Setup...)
 	for _, s := range inv.Spikes {
 		out = append(out, s.Packets...)
@@ -136,16 +142,46 @@ func (inv Invocation) CommandSpike() LabeledSpike {
 	return LabeledSpike{}
 }
 
+// appDataCache interns the zero-filled application-data payloads by
+// wire length. The generators emit the same few dozen signature
+// lengths millions of times over a simulated week; every emission of a
+// given length is byte-identical, so one shared slice serves them all.
+// Consumers (ParseRecords copies bodies; IsAppData reads headers in
+// place) never mutate packet payloads.
+//
+// Every generator length fits the fixed table, so the common case is
+// one atomic pointer load; the map is a fallback for out-of-range
+// lengths from external callers.
+const appDataCacheMax = 2048
+
+var (
+	appDataSmall [appDataCacheMax]atomic.Pointer[[]byte]
+	appDataBig   sync.Map // int (wire length) -> []byte
+)
+
 // mustAppData builds an application-data payload of the given wire
 // length, padding undersized lengths up to the minimum record size.
-// Signature lengths in this package are all >= 5 bytes.
+// Signature lengths in this package are all >= 5 bytes. The returned
+// slice is shared and must not be mutated.
 func mustAppData(wireLen int) []byte {
 	if wireLen < 5 {
 		wireLen = 5
 	}
+	if wireLen < appDataCacheMax {
+		if p := appDataSmall[wireLen].Load(); p != nil {
+			return *p
+		}
+	} else if b, ok := appDataBig.Load(wireLen); ok {
+		return b.([]byte)
+	}
 	b, err := pcap.AppData(wireLen)
 	if err != nil {
 		panic(err) // unreachable: length clamped above
+	}
+	if wireLen < appDataCacheMax {
+		appDataSmall[wireLen].Store(&b)
+	} else {
+		appDataBig.Store(wireLen, b)
 	}
 	return b
 }
