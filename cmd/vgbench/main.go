@@ -25,6 +25,7 @@ import (
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/metrics"
 	"voiceguard/internal/netem"
+	"voiceguard/internal/obs"
 	"voiceguard/internal/parallel"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/report"
@@ -46,6 +47,8 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
 		traceOut    = flag.String("trace-out", "", "write every recorded span to this JSONL file")
 		jsonOut     = flag.String("json", "", "write per-experiment wall time, allocations, and pct_* quality metrics to this JSON file")
+		metricsOut  = flag.String("metrics-out", "", "write the labeled metrics snapshot (JSON envelope with bucket bounds) to this file")
+		sloOut      = flag.String("slo-out", "", "write the SLO evaluation report to this file")
 	)
 	flag.Parse()
 
@@ -82,16 +85,58 @@ func main() {
 		os.Exit(1)
 	}
 	// The metrics table makes every bench run double as regression
-	// evidence: counter and latency drift shows up in the diff.
+	// evidence: counter and latency drift shows up in the diff. The
+	// snapshot is taken once so the printed table, the SLO report, and
+	// the -metrics-out/-slo-out artifacts agree.
+	snap := metrics.Default.Snapshot()
+	results := obs.Evaluate(snap, obs.DefaultObjectives(), nil)
+	fmt.Println("\n== slo ==")
+	_ = obs.WriteReport(os.Stdout, results)
 	fmt.Println("\n== metrics ==")
-	_ = metrics.WriteTable(os.Stdout, metrics.Default.Snapshot())
+	_ = metrics.WriteTable(os.Stdout, snap)
 
+	if err := writeExitArtifacts(*metricsOut, *sloOut, snap, results); err != nil {
+		fmt.Fprintln(os.Stderr, "vgbench:", err)
+		os.Exit(1)
+	}
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "vgbench:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// writeExitArtifacts persists the labeled snapshot and the SLO report
+// when the corresponding flags are set.
+func writeExitArtifacts(metricsOut, sloOut string, snap metrics.Snapshot, results []obs.SLOResult) error {
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteJSON(f, snap); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if sloOut != "" {
+		f, err := os.Create(sloOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteReport(f, results); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // benchRecord is one experiment's entry in the -json output: wall

@@ -27,6 +27,7 @@ import (
 	"voiceguard/internal/cliutil"
 	"voiceguard/internal/emul"
 	"voiceguard/internal/metrics"
+	"voiceguard/internal/obs"
 	"voiceguard/internal/trace"
 )
 
@@ -70,12 +71,15 @@ func validateVerdict(v string) error {
 }
 
 // newDebugMux assembles the HTTP surface served on -metrics-addr:
-// the metrics snapshot at /, the flight-recorder dump at /debug/trace,
-// and the standard pprof profiles. pprof's handlers only self-register
-// on http.DefaultServeMux, so a private mux wires them explicitly.
-func newDebugMux() *http.ServeMux {
+// the metrics snapshot at /, liveness and readiness probes, the
+// flight-recorder dump at /debug/trace, and the standard pprof
+// profiles. pprof's handlers only self-register on
+// http.DefaultServeMux, so a private mux wires them explicitly.
+func newDebugMux(ready func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/", metrics.Handler(metrics.Default))
+	mux.Handle("/healthz", obs.HealthHandler())
+	mux.Handle("/readyz", obs.ReadyHandler(ready))
 	mux.Handle("/debug/trace", trace.Handler(trace.Default))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -102,18 +106,24 @@ func run(cfg config) error {
 	defer cloud.Close()
 	fmt.Printf("cloud server   %s\n", cloud.Addr())
 
+	var ready atomic.Bool
 	if cfg.metricsAddr != "" {
 		lis, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("cannot bind -metrics-addr %q: %w", cfg.metricsAddr, err)
 		}
-		srv := &http.Server{Handler: newDebugMux()}
+		srv := &http.Server{Handler: newDebugMux(ready.Load)}
 		go func() { _ = srv.Serve(lis) }()
 		defer srv.Close()
+		// Runtime telemetry (goroutines, heap, GC pauses, scheduler
+		// latency) feeds the same registry while the endpoint is up.
+		stopRuntime := obs.NewRuntime(nil).Start(5 * time.Second)
+		defer stopRuntime()
 		trace.Default.Logger().Info("debug endpoint bound",
 			"addr", lis.Addr().String(),
-			"endpoints", "/ /debug/trace /debug/pprof/")
+			"endpoints", "/ /healthz /readyz /debug/trace /debug/pprof/")
 		fmt.Printf("metrics        http://%s/ (text; ?format=json for JSON)\n", lis.Addr())
+		fmt.Printf("probes         http://%s/healthz and /readyz\n", lis.Addr())
 		fmt.Printf("debug          http://%s/debug/trace and /debug/pprof/\n", lis.Addr())
 	}
 
@@ -139,6 +149,7 @@ func run(cfg config) error {
 		return err
 	}
 	defer proxy.Close()
+	ready.Store(true)
 	fmt.Printf("guard proxy    %s (hold %v, policy %s)\n\n", proxy.Addr(), cfg.hold, cfg.verdict)
 
 	for i := 1; i <= cfg.commands; i++ {
@@ -168,6 +179,11 @@ func run(cfg config) error {
 		stats.HeldBursts, stats.ReleasedBursts, stats.DroppedBursts)
 	fmt.Printf("cloud executed %d command(s); %d session(s) aborted on sequence gaps\n",
 		cloud.CompletedCommands(), cloud.SequenceAborts())
+	snap := metrics.Default.Snapshot()
+	fmt.Println("\n== slo ==")
+	if err := obs.WriteReport(os.Stdout, obs.Evaluate(snap, voiceguard.LiveObjectives(), nil)); err != nil {
+		return err
+	}
 	fmt.Println("\n== metrics ==")
-	return metrics.WriteTable(os.Stdout, metrics.Default.Snapshot())
+	return metrics.WriteTable(os.Stdout, snap)
 }

@@ -152,6 +152,37 @@ func TestRunServesMetrics(t *testing.T) {
 	}
 }
 
+// TestRunServesProbes asserts the liveness and readiness probes on
+// the -metrics-addr mux: /healthz answers 200, /readyz flips to 200
+// once the proxy is wired, and probe endpoints reject non-GET/HEAD.
+func TestRunServesProbes(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() { done <- run(cfg(1, 2*time.Second, "allow", addr)) }()
+
+	if body := get(t, fmt.Sprintf("http://%s/healthz", addr)); !strings.Contains(string(body), "ok") {
+		t.Fatalf("/healthz body = %q, want ok", body)
+	}
+	if body := get(t, fmt.Sprintf("http://%s/readyz", addr)); !strings.Contains(string(body), "ready") {
+		t.Fatalf("/readyz body = %q, want ready", body)
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/healthz", addr), "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Fatalf("405 Allow header = %q, want GET, HEAD", allow)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunServesDebugEndpoints asserts the -metrics-addr mux also
 // exposes the pprof index and the flight-recorder trace dump.
 func TestRunServesDebugEndpoints(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"voiceguard/internal/cliutil"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/metrics"
+	"voiceguard/internal/obs"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/scenario"
 	"voiceguard/internal/trace"
@@ -92,11 +93,21 @@ func main() {
 	printMetrics()
 }
 
-// printMetrics dumps the guard-wide metrics table at exit, turning
-// every simulation run into instrumentation evidence.
+// printMetrics dumps the SLO evaluation, the guard-wide metrics
+// table, and the runtime telemetry at exit, turning every simulation
+// run into instrumentation evidence. The SLO and metrics sections are
+// deterministic for a seed (the table sorts by name, then label set);
+// the runtime sample is taken afterwards so its run-to-run jitter
+// stays out of the seed-stable sections.
 func printMetrics() {
+	snap := metrics.Default.Snapshot()
+	fmt.Println("\n== slo ==")
+	_ = obs.WriteReport(os.Stdout, obs.Evaluate(snap, obs.DefaultObjectives(), nil))
 	fmt.Println("\n== metrics ==")
-	_ = metrics.WriteTable(os.Stdout, metrics.Default.Snapshot())
+	_ = metrics.WriteTable(os.Stdout, snap)
+	obs.NewRuntime(nil).Collect()
+	fmt.Println("\n== runtime ==")
+	_ = obs.WriteRuntime(os.Stdout, metrics.Default.Snapshot())
 }
 
 // exportPlan dumps a built-in testbed in the custom-plan JSON schema.

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"voiceguard/internal/metrics"
+	"voiceguard/internal/trace"
+)
+
+// Names used by the fixture registry. Constants, per the metriclabel
+// rule.
+const (
+	topTestLatency  = "decision_latency_seconds"
+	topTestVerdicts = "guard_verdicts"
+	topTestQueue    = "proxy_hold_queue_bytes"
+)
+
+// fixtureRegistry builds a registry with labeled series resembling a
+// real guard: decision latency per home with an exemplar, verdict
+// counters, and a hold-queue gauge.
+func fixtureRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	lat := reg.HistogramVec(topTestLatency)
+	h := lat.With(metrics.Labels{Home: "h1", Profile: "none"})
+	for i := 0; i < 40; i++ {
+		h.Observe(150 * time.Millisecond)
+	}
+	h.ObserveExemplar(6*time.Second, 42) // tail observation with exemplar
+	verdicts := reg.CounterVec(topTestVerdicts)
+	verdicts.With(metrics.Labels{Home: "h1", Verdict: "allow"}).Add(25)
+	verdicts.With(metrics.Labels{Home: "h1", Verdict: "block"}).Add(9)
+	reg.Gauge(topTestQueue).Set(2048)
+	return reg
+}
+
+// fixtureMux serves the fixture registry and a flight recorder holding
+// one dropped command, mirroring vgproxy's debug mux shape.
+func fixtureMux(t *testing.T) *http.ServeMux {
+	t.Helper()
+	tr := trace.New(64)
+	now := time.Now()
+	tr.Record(trace.Span{
+		Command: 42,
+		Stage:   trace.StageDecision,
+		Name:    "live_decide",
+		Start:   now,
+		End:     now.Add(120 * time.Millisecond),
+		Attrs:   []trace.Attr{trace.String(trace.AttrOutcome, trace.OutcomeDrop)},
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", metrics.Handler(fixtureRegistry()))
+	mux.Handle("/debug/trace", trace.Handler(tr))
+	return mux
+}
+
+func TestRunOnceRendersLiveFrame(t *testing.T) {
+	srv := httptest.NewServer(fixtureMux(t))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	err := run(config{addr: strings.TrimPrefix(srv.URL, "http://"), once: true, topK: 8}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`decision_latency_seconds{home="h1",profile="none"}`,
+		`guard_verdicts{home="h1",verdict="allow"}`,
+		"== slo ==",
+		"exemplar cmd=42",
+		"drop cmd=42 decision/live_decide",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-once frame contains the ANSI clear sequence")
+	}
+}
+
+func TestRunMultiFrameClearsScreen(t *testing.T) {
+	srv := httptest.NewServer(fixtureMux(t))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	err := run(config{
+		addr:     strings.TrimPrefix(srv.URL, "http://"),
+		frames:   2,
+		interval: time.Millisecond,
+		topK:     4,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\x1b[2J\x1b[H"); got != 2 {
+		t.Fatalf("clear sequences = %d, want one per frame (2)", got)
+	}
+}
+
+func TestRunSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteJSON(f, fixtureRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(config{snapshot: path, topK: 8}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `decision_latency_seconds{home="h1",profile="none"}`) {
+		t.Fatalf("offline frame missing labeled series:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsFlagCombos(t *testing.T) {
+	if err := run(config{}, &bytes.Buffer{}); err == nil {
+		t.Error("run accepted neither -addr nor -snapshot")
+	}
+	if err := run(config{addr: "x", snapshot: "y"}, &bytes.Buffer{}); err == nil {
+		t.Error("run accepted both -addr and -snapshot")
+	}
+}
+
+func TestRunSurfacesEndpointError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	err := run(config{addr: strings.TrimPrefix(srv.URL, "http://"), once: true}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "status 500") {
+		t.Fatalf("error = %v, want metrics endpoint status 500", err)
+	}
+}

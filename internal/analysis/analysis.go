@@ -74,7 +74,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full vglint rule set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{RNGShare, SimClock, HotAlloc, TraceCtx}
+	return []*Analyzer{RNGShare, SimClock, HotAlloc, TraceCtx, MetricLabel}
 }
 
 // ByName returns the analyzer with the given rule name.

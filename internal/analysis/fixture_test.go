@@ -149,6 +149,28 @@ func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "src", "hotalloc"), "voiceguard/internal/radio", HotAlloc)
 }
 
+func TestMetricLabelFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "metriclabel"), "voiceguard/fixtures/metriclabel", MetricLabel)
+}
+
+// TestMetricLabelExemptsMetricsPackage proves the package gating: the
+// same fixture masquerading as the metrics package itself (which
+// forwards caller-supplied names) produces no findings.
+func TestMetricLabelExemptsMetricsPackage(t *testing.T) {
+	m := testModule(t)
+	files := []string{filepath.Join("testdata", "src", "metriclabel", "metriclabel.go")}
+	pkg, err := m.CheckFiles("voiceguard/fixtures/metriclabel", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []Diagnostic
+	pass := &Pass{Analyzer: MetricLabel, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, PkgPath: "voiceguard/internal/metrics", diags: &raw}
+	MetricLabel.Run(pass)
+	if len(raw) != 0 {
+		t.Fatalf("metriclabel fired in the exempt metrics package: %v", raw)
+	}
+}
+
 func TestTraceCtxFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "src", "tracectx"), "voiceguard/internal/decision", TraceCtx)
 }

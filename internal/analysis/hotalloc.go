@@ -28,6 +28,11 @@ var hotFuncs = map[string]map[string]bool{
 	"voiceguard/internal/proxy": {
 		"clientToServer": true, "serverToClient": true, "forward": true,
 	},
+	"voiceguard/internal/metrics": {
+		"with": true, "With": true, "Inc": true, "Add": true, "Set": true,
+		"Observe": true, "ObserveExemplar": true, "ObserveN": true,
+		"bucketIndex": true,
+	},
 	"voiceguard/internal/recognize": {
 		"ClassifyEchoSpike": true, "ClassifyNaive": true,
 		"matchesCommandFallback": true, "hasWithin": true, "hasAdjacent": true,

@@ -1,0 +1,82 @@
+// Package metriclabel is the vglint fixture for the metriclabel
+// rule: metric family names handed to registration calls must be
+// package-level constants, and the closed label dimensions of a
+// metrics.Labels literal (Stage, Verdict) must be constant
+// expressions. Home/Speaker/Profile are the dynamic dimensions and
+// stay unconstrained.
+package metriclabel
+
+import "voiceguard/internal/metrics"
+
+// The legal pattern: family names declared once, at package scope.
+const (
+	metricGood    = "fixture_events_total"
+	metricGoodLat = "fixture_latency_seconds"
+	stageGood     = "decide"
+	verdictGood   = "allow"
+)
+
+var dynamicName = "fixture_dynamic_total"
+
+// Package-level const names are the legal pattern, for both the
+// Default-registry helpers and Registry methods.
+var (
+	okCounter = metrics.NewCounter(metricGood)
+	okVec     = metrics.NewHistogramVec(metricGoodLat)
+)
+
+func okRegistry(reg *metrics.Registry) {
+	_ = reg.Gauge(metricGood)
+	_ = reg.HistogramVec(metricGoodLat)
+}
+
+// String literals are constant but not named: the family is not
+// greppable from the const block — flagged.
+func literalName() {
+	_ = metrics.NewGauge("fixture_inline_total") // want `metric name passed to metrics\.NewGauge must be a package-level constant`
+}
+
+// Function-local consts do not pin the schema at package scope —
+// flagged.
+func localConst() {
+	const local = "fixture_local_total"
+	_ = metrics.NewHistogram(local) // want `metric name passed to metrics\.NewHistogram must be a package-level constant`
+}
+
+// Variables make the family name a runtime value — flagged, on both
+// the helper and the Registry method form.
+func variableName(reg *metrics.Registry) {
+	_ = metrics.NewCounterVec(dynamicName) // want `metric name passed to metrics\.NewCounterVec must be a package-level constant`
+	_ = reg.Counter(dynamicName)           // want `metric name passed to metrics\.Counter must be a package-level constant`
+}
+
+// Constant Stage/Verdict values are the legal pattern; the dynamic
+// dimensions may come from anywhere.
+func okLabels(home, profile string) metrics.Labels {
+	return metrics.Labels{Home: home, Stage: stageGood, Verdict: verdictGood, Profile: profile}
+}
+
+// stageOf stands in for any runtime-computed stage value.
+func stageOf(s string) string { return s }
+
+// Dynamic Stage/Verdict values are unbounded cardinality — flagged
+// per field.
+func dynamicLabels(v string) {
+	okVec.With(metrics.Labels{
+		Stage:   stageOf("x"), // want `Labels\.Stage must be a constant expression`
+		Verdict: v,            // want `Labels\.Verdict must be a constant expression`
+	}).Observe(0)
+}
+
+// Positional literals bind fields by declaration order; the Stage
+// slot (third) is checked there too.
+func positionalLabels(home string) metrics.Labels {
+	return metrics.Labels{home, "echo", stageOf("y"), verdictGood, "none"} // want `Labels\.Stage must be a constant expression`
+}
+
+// A deliberate dynamic verdict with its reason on record.
+func allowedDynamic(v string) {
+	_ = okCounter
+	lv := metrics.Labels{Verdict: v} //vglint:allow metriclabel vetted pass-through of an upstream verdict enum in this fixture
+	okVec.With(lv).Observe(0)
+}

@@ -13,19 +13,51 @@ import (
 	"voiceguard/internal/trace"
 )
 
+// Metric names, as package-level constants (the vglint metriclabel
+// rule).
+const (
+	metricRSSIQueries    = "decision_rssi_queries_total"
+	metricQueryTimeouts  = "decision_query_timeouts_total"
+	metricRoundTrip      = "decision_roundtrip_seconds"
+	metricFloorOverrides = "decision_floor_overrides_total"
+	metricFloorTraces    = "decision_floor_traces_total"
+	metricPathDead       = "decision_path_dead_total"
+	metricUnknownReplies = "decision_unknown_replies_total"
+	metricDupReplies     = "decision_duplicate_replies_total"
+	metricCorruptReplies = "decision_corrupt_replies_total"
+
+	// MetricLatency is the labeled decision-latency family (request
+	// issued → verdict) keyed by home/speaker/profile, with per-bucket
+	// command-ID exemplars — the series the SLO engine and FaultStudy
+	// report per label set.
+	MetricLatency = "decision_latency_seconds"
+	// MetricOutcomes counts verdicts per label set; the Verdict label
+	// carries allow/block/path_dead.
+	MetricOutcomes = "decision_outcomes"
+)
+
+// Verdict label values of the MetricOutcomes family.
+const (
+	OutcomeAllow    = "allow"
+	OutcomeBlock    = "block"
+	OutcomePathDead = "path_dead"
+)
+
 // Decision Module metrics: query volume, outcome split, timeout rate,
 // and the full query round trip (request issued → verdict) on the
 // paper's Fig. 6/7 scale. Durations are simulated-clock time.
 var (
-	mRSSIQueries    = metrics.NewCounter("decision_rssi_queries_total")
-	mQueryTimeouts  = metrics.NewCounter("decision_query_timeouts_total")
-	mRoundTrip      = metrics.NewHistogram("decision_roundtrip_seconds")
-	mFloorOverrides = metrics.NewCounter("decision_floor_overrides_total")
-	mFloorTraces    = metrics.NewCounter("decision_floor_traces_total")
-	mPathDead       = metrics.NewCounter("decision_path_dead_total")
-	mUnknownReplies = metrics.NewCounter("decision_unknown_replies_total")
-	mDupReplies     = metrics.NewCounter("decision_duplicate_replies_total")
-	mCorruptReplies = metrics.NewCounter("decision_corrupt_replies_total")
+	mRSSIQueries    = metrics.NewCounter(metricRSSIQueries)
+	mQueryTimeouts  = metrics.NewCounter(metricQueryTimeouts)
+	mRoundTrip      = metrics.NewHistogram(metricRoundTrip)
+	mFloorOverrides = metrics.NewCounter(metricFloorOverrides)
+	mFloorTraces    = metrics.NewCounter(metricFloorTraces)
+	mPathDead       = metrics.NewCounter(metricPathDead)
+	mUnknownReplies = metrics.NewCounter(metricUnknownReplies)
+	mDupReplies     = metrics.NewCounter(metricDupReplies)
+	mCorruptReplies = metrics.NewCounter(metricCorruptReplies)
+	mLatencyVec     = metrics.NewHistogramVec(MetricLatency)
+	mOutcomesVec    = metrics.NewCounterVec(MetricOutcomes)
 )
 
 // DeviceConfig registers one legitimate user's device with the RSSI
@@ -61,6 +93,10 @@ type RSSIMethod struct {
 	// Tracer receives per-reply and timeout events for each query
 	// (nil uses trace.Default).
 	Tracer *trace.Tracer
+
+	// Labels dimensions this method's labeled metrics (home/tenant,
+	// speaker, fault profile). Set before first use.
+	Labels metrics.Labels
 }
 
 var _ Method = (*RSSIMethod)(nil)
@@ -109,7 +145,22 @@ func (m *RSSIMethod) Check(req Request, done func(Result)) {
 			if r.PathDead {
 				mPathDead.Inc()
 			}
-			mRoundTrip.Observe(r.At.Sub(req.At))
+			d := r.At.Sub(req.At)
+			mRoundTrip.Observe(d)
+			// The labeled latency series keeps the command ID as the
+			// bucket exemplar: a bad p99 bucket links straight to the
+			// trace spans of the command that landed in it.
+			mLatencyVec.With(m.Labels).ObserveExemplar(d, uint64(req.Command))
+			out := m.Labels
+			switch {
+			case r.PathDead:
+				out.Verdict = OutcomePathDead
+			case r.Legitimate:
+				out.Verdict = OutcomeAllow
+			default:
+				out.Verdict = OutcomeBlock
+			}
+			mOutcomesVec.With(out).Inc()
 			done(r)
 		}
 	)

@@ -28,11 +28,18 @@ import (
 // Emulator metrics: server-side session volume, heartbeat traffic,
 // completed commands, and TLS-session closes forced by sequence gaps
 // (Fig. 4 case III).
+const (
+	metricEmulSessions   = "emul_sessions_total"
+	metricEmulHeartbeats = "emul_heartbeats_total"
+	metricEmulCommands   = "emul_commands_completed_total"
+	metricEmulAborts     = "emul_session_aborts_total"
+)
+
 var (
-	mEmulSessions   = metrics.NewCounter("emul_sessions_total")
-	mEmulHeartbeats = metrics.NewCounter("emul_heartbeats_total")
-	mEmulCommands   = metrics.NewCounter("emul_commands_completed_total")
-	mEmulAborts     = metrics.NewCounter("emul_session_aborts_total")
+	mEmulSessions   = metrics.NewCounter(metricEmulSessions)
+	mEmulHeartbeats = metrics.NewCounter(metricEmulHeartbeats)
+	mEmulCommands   = metrics.NewCounter(metricEmulCommands)
+	mEmulAborts     = metrics.NewCounter(metricEmulAborts)
 )
 
 // Message types carried in record payloads.

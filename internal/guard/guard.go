@@ -23,18 +23,50 @@ import (
 	"voiceguard/internal/trace"
 )
 
+// Metric names, as package-level constants (the vglint metriclabel
+// rule): flat guard-level series plus the labeled families the
+// dimensional plane reports per home/speaker/profile.
+const (
+	metricSpikes         = "guard_spikes_total"
+	metricCommands       = "guard_commands_recognized_total"
+	metricAllowed        = "guard_verdict_allow_total"
+	metricBlocked        = "guard_verdict_block_total"
+	metricNonCommands    = "guard_noncommand_spikes_total"
+	metricHoldSeconds    = "guard_hold_seconds"
+	metricQueriesQueued  = "guard_queries_queued_total"
+	metricDegraded       = "guard_degraded_verdicts_total"
+	metricUnknownSpeaker = "guard_router_unknown_speaker_total"
+
+	// MetricVerdicts counts command verdicts per label set (the
+	// Verdict label carries allow/block).
+	MetricVerdicts = "guard_verdicts"
+	// MetricHoldLatency is the per-label hold-duration distribution,
+	// with per-bucket command-ID exemplars.
+	MetricHoldLatency = "guard_hold_latency_seconds"
+)
+
+// Verdict label values of the MetricVerdicts family.
+const (
+	VerdictAllow = "allow"
+	VerdictBlock = "block"
+)
+
 // Guard-level metrics: spike and command volume, verdict split, and
-// the hold-duration distribution (the paper's Fig. 6/7 scale).
+// the hold-duration distribution (the paper's Fig. 6/7 scale). The
+// flat series stay authoritative for single-home runs; the labeled
+// families add the per-tenant dimension.
 var (
-	mSpikes         = metrics.NewCounter("guard_spikes_total")
-	mCommands       = metrics.NewCounter("guard_commands_recognized_total")
-	mAllowed        = metrics.NewCounter("guard_verdict_allow_total")
-	mBlocked        = metrics.NewCounter("guard_verdict_block_total")
-	mNonCommands    = metrics.NewCounter("guard_noncommand_spikes_total")
-	mHoldSeconds    = metrics.NewHistogram("guard_hold_seconds")
-	mQueriesQueued  = metrics.NewCounter("guard_queries_queued_total")
-	mDegraded       = metrics.NewCounter("guard_degraded_verdicts_total")
-	mUnknownSpeaker = metrics.NewCounter("guard_router_unknown_speaker_total")
+	mSpikes         = metrics.NewCounter(metricSpikes)
+	mCommands       = metrics.NewCounter(metricCommands)
+	mAllowed        = metrics.NewCounter(metricAllowed)
+	mBlocked        = metrics.NewCounter(metricBlocked)
+	mNonCommands    = metrics.NewCounter(metricNonCommands)
+	mHoldSeconds    = metrics.NewHistogram(metricHoldSeconds)
+	mQueriesQueued  = metrics.NewCounter(metricQueriesQueued)
+	mDegraded       = metrics.NewCounter(metricDegraded)
+	mUnknownSpeaker = metrics.NewCounter(metricUnknownSpeaker)
+	mVerdictsVec    = metrics.NewCounterVec(MetricVerdicts)
+	mHoldVec        = metrics.NewHistogramVec(MetricHoldLatency)
 )
 
 // DegradedPolicy decides what happens to held traffic when the
@@ -136,6 +168,14 @@ type Guard struct {
 
 	speaker string
 
+	// labels and the lv* handles are the guard's dimensional metric
+	// identity: SetLabels resolves the labeled children once, so the
+	// per-event path updates cached handles instead of re-interning.
+	labels  metrics.Labels
+	lvHold  *metrics.Histogram
+	lvAllow *metrics.Counter
+	lvBlock *metrics.Counter
+
 	cur       *episode   // spike currently accumulating packets
 	inflight  *episode   // episode whose decision query is running
 	queue     []*episode // recognized commands awaiting the in-flight query
@@ -148,14 +188,37 @@ type Guard struct {
 
 // New returns a guard for one speaker.
 func New(clock *simtime.Sim, rec *recognize.Recognizer, method decision.Method, speaker string) *Guard {
-	return &Guard{
+	g := &Guard{
 		clock:      clock,
 		recognizer: rec,
 		method:     method,
 		speaker:    speaker,
 		Tracer:     trace.Default,
 	}
+	g.SetLabels(metrics.Labels{})
+	return g
 }
+
+// SetLabels sets the guard's metric label dimensions (home/tenant,
+// fault profile, ...). The Speaker label is filled from the guard's
+// speaker model when unset. Labeled metric children are resolved here,
+// once, so per-event updates stay on the lock-free zero-alloc path.
+func (g *Guard) SetLabels(l metrics.Labels) {
+	if l.Speaker == "" {
+		l.Speaker = g.speaker
+	}
+	g.labels = l
+	g.lvHold = mHoldVec.With(l)
+	allow := l
+	allow.Verdict = VerdictAllow
+	g.lvAllow = mVerdictsVec.With(allow)
+	block := l
+	block.Verdict = VerdictBlock
+	g.lvBlock = mVerdictsVec.With(block)
+}
+
+// Labels returns the guard's metric label set.
+func (g *Guard) Labels() metrics.Labels { return g.labels }
 
 // OnEvent registers a callback invoked for every completed event.
 func (g *Guard) OnEvent(fn func(Event)) { g.onEvent = fn }
@@ -394,12 +457,17 @@ func (g *Guard) record(ev Event) {
 	case EventCommand:
 		if ev.Released {
 			mAllowed.Inc()
+			g.lvAllow.Inc()
 			attrs = append(attrs, trace.String(trace.AttrOutcome, trace.OutcomeRelease))
 		} else {
 			mBlocked.Inc()
+			g.lvBlock.Inc()
 			attrs = append(attrs, trace.String(trace.AttrOutcome, trace.OutcomeDrop))
 		}
-		mHoldSeconds.Observe(ev.HoldDuration())
+		// The hold histograms keep the command ID as the bucket's
+		// exemplar, linking a tail bucket to its flight-recorder spans.
+		mHoldSeconds.ObserveExemplar(ev.HoldDuration(), uint64(ev.CommandID))
+		g.lvHold.ObserveExemplar(ev.HoldDuration(), uint64(ev.CommandID))
 		end = ev.DecisionAt
 	case EventNonCommand:
 		mNonCommands.Inc()

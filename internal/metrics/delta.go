@@ -1,0 +1,41 @@
+package metrics
+
+// Delta returns the change from base to cur for cumulative series:
+// counters and histograms subtract the base value of the matching
+// (name, label-set) series; gauges are point-in-time readings and pass
+// through unchanged, as do series absent from base. Studies sharing
+// the process-wide registry use it to scope cumulative state to one
+// run's contribution (a baseline snapshot before, Delta after).
+func Delta(base, cur Snapshot) Snapshot {
+	baseCounters := make(map[string]int64, len(base.Counters))
+	for _, c := range base.Counters {
+		baseCounters[c.Name+"\x00"+labelKey(c.Labels)] = c.Value
+	}
+	baseHists := make(map[string]HistogramSnapshot, len(base.Histograms))
+	for _, h := range base.Histograms {
+		baseHists[h.Name+"\x00"+labelKey(h.Labels)] = h
+	}
+
+	out := Snapshot{
+		Counters:   make([]CounterSnapshot, len(cur.Counters)),
+		Gauges:     append([]GaugeSnapshot(nil), cur.Gauges...),
+		Histograms: make([]HistogramSnapshot, len(cur.Histograms)),
+	}
+	for i, c := range cur.Counters {
+		c.Value -= baseCounters[c.Name+"\x00"+labelKey(c.Labels)]
+		out.Counters[i] = c
+	}
+	for i, h := range cur.Histograms {
+		if b, ok := baseHists[h.Name+"\x00"+labelKey(h.Labels)]; ok && len(b.Buckets) == len(h.Buckets) {
+			buckets := make([]uint64, len(h.Buckets))
+			for j := range h.Buckets {
+				buckets[j] = h.Buckets[j] - b.Buckets[j]
+			}
+			h.Buckets = buckets
+			h.Count -= b.Count
+			h.SumSeconds -= b.SumSeconds
+		}
+		out.Histograms[i] = h
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// Delta must subtract cumulative series (counters, histograms) against
+// the baseline while passing gauges and unseen series through.
+func TestDeltaScopesCumulativeSeries(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("delta_total")
+	g := reg.Gauge("delta_gauge")
+	h := reg.Histogram("delta_seconds")
+
+	c.Add(5)
+	g.Set(7)
+	h.Observe(time.Millisecond)
+	base := reg.Snapshot()
+
+	c.Add(3)
+	g.Set(9)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	reg.Counter("delta_new_total").Add(2)
+
+	d := Delta(base, reg.Snapshot())
+	counters := make(map[string]int64)
+	for _, cs := range d.Counters {
+		counters[cs.Name] = cs.Value
+	}
+	if counters["delta_total"] != 3 {
+		t.Errorf("delta_total = %d, want 3", counters["delta_total"])
+	}
+	if counters["delta_new_total"] != 2 {
+		t.Errorf("delta_new_total = %d, want the full value 2", counters["delta_new_total"])
+	}
+	for _, gs := range d.Gauges {
+		if gs.Name == "delta_gauge" && gs.Value != 9 {
+			t.Errorf("gauge = %d, want the point-in-time 9", gs.Value)
+		}
+	}
+	for _, hs := range d.Histograms {
+		if hs.Name != "delta_seconds" {
+			continue
+		}
+		if hs.Count != 2 {
+			t.Errorf("histogram delta count = %d, want 2", hs.Count)
+		}
+		var sum uint64
+		for _, b := range hs.Buckets {
+			sum += b
+		}
+		if sum != hs.Count {
+			t.Errorf("bucket sum %d != count %d after delta", sum, hs.Count)
+		}
+	}
+}

@@ -59,15 +59,26 @@ func bucketIndex(d time.Duration) int {
 }
 
 // Histogram is a fixed-bucket latency histogram. Observe is lock-free:
-// one atomic add into the bucket, one into the running sum.
+// one atomic add into the bucket, one into the running sum. Each
+// bucket additionally retains one exemplar — the most recent command
+// or trace ID observed into it — so exposition can link a tail
+// bucket straight to the flight-recorder span that landed there. The
+// exemplar cost is fixed: one uint64 per bucket, 168 bytes per
+// histogram, regardless of traffic.
 type Histogram struct {
-	name    string
-	sum     atomic.Int64 // total observed nanoseconds
-	buckets [20 + 1]atomic.Uint64
+	name      string
+	labels    Labels
+	sum       atomic.Int64 // total observed nanoseconds
+	buckets   [20 + 1]atomic.Uint64
+	exemplars [20 + 1]atomic.Uint64
 }
 
 // Name returns the histogram's registered name.
 func (h *Histogram) Name() string { return h.name }
+
+// Labels returns the histogram's label set (zero for flat
+// histograms).
+func (h *Histogram) Labels() Labels { return h.labels }
 
 // Observe records one duration. Negative durations count as zero.
 func (h *Histogram) Observe(d time.Duration) {
@@ -76,6 +87,36 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.buckets[bucketIndex(d)].Add(1)
 	h.sum.Add(int64(d))
+}
+
+// ObserveExemplar records one duration and retains id as the bucket's
+// exemplar (most recent wins). An id of 0 records the duration but
+// leaves the previous exemplar in place.
+func (h *Histogram) ObserveExemplar(d time.Duration, id uint64) {
+	if d < 0 {
+		d = 0
+	}
+	i := bucketIndex(d)
+	h.buckets[i].Add(1)
+	h.sum.Add(int64(d))
+	if id != 0 {
+		h.exemplars[i].Store(id)
+	}
+}
+
+// ObserveN records n observations of the same duration with two
+// atomic adds. Bulk import for pre-bucketed sources (the runtime
+// telemetry collector folds runtime/metrics histogram deltas in with
+// it).
+func (h *Histogram) ObserveN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(n)
+	h.sum.Add(int64(d) * int64(n))
 }
 
 // Count returns the number of observations (the sum of all buckets).
@@ -92,12 +133,17 @@ func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
 // HistogramSnapshot is one histogram's state at snapshot time.
 // Buckets[i] counts observations in (bounds[i-1], bounds[i]]; the
-// final entry is the overflow bucket.
+// final entry is the overflow bucket. Exemplars, when present, holds
+// the most recent command/trace ID per bucket (0 = none) and is
+// omitted entirely when no exemplar was ever recorded. Labels is nil
+// for flat histograms.
 type HistogramSnapshot struct {
 	Name       string   `json:"name"`
+	Labels     *Labels  `json:"labels,omitempty"`
 	Count      uint64   `json:"count"`
 	SumSeconds float64  `json:"sum_seconds"`
 	Buckets    []uint64 `json:"buckets"`
+	Exemplars  []uint64 `json:"exemplars,omitempty"`
 }
 
 // snapshot reads the histogram's state. Count is computed from the
@@ -105,12 +151,21 @@ type HistogramSnapshot struct {
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Name:       h.name,
+		Labels:     labelsPtr(h.labels),
 		SumSeconds: float64(h.sum.Load()) / float64(time.Second),
 		Buckets:    make([]uint64, numBuckets),
 	}
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 		s.Count += s.Buckets[i]
+	}
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]uint64, numBuckets)
+			}
+			s.Exemplars[i] = ex
+		}
 	}
 	return s
 }

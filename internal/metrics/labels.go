@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Labels is the fixed label vocabulary of the dimensional metric
+// families: home/tenant, speaker model, pipeline stage, verdict, and
+// fault profile. It is a small comparable struct rather than an open
+// map so a labeled update is a single struct-keyed map lookup — no
+// sorting, no string joining, no allocation on the hot path — and so
+// the cardinality of any one family is the product of a few short
+// enumerations plus the tenant dimension.
+//
+// Empty fields are "unset" and are omitted from exposition. The value
+// LabelOverflow is reserved for the synthetic child a family collapses
+// into once it hits its cardinality bound.
+type Labels struct {
+	Home    string `json:"home,omitempty"`
+	Speaker string `json:"speaker,omitempty"`
+	Stage   string `json:"stage,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+	Profile string `json:"profile,omitempty"`
+}
+
+// IsZero reports whether every label field is unset.
+func (l Labels) IsZero() bool { return l == Labels{} }
+
+// Match reports whether l satisfies the filter: every non-empty
+// filter field must equal the corresponding field of l. The zero
+// filter matches everything, including unlabeled metrics.
+func (l Labels) Match(filter Labels) bool {
+	return (filter.Home == "" || filter.Home == l.Home) &&
+		(filter.Speaker == "" || filter.Speaker == l.Speaker) &&
+		(filter.Stage == "" || filter.Stage == l.Stage) &&
+		(filter.Verdict == "" || filter.Verdict == l.Verdict) &&
+		(filter.Profile == "" || filter.Profile == l.Profile)
+}
+
+// String renders the label set in the fixed field order as
+// `{home="a",stage="b"}`, or "" for the zero value. The fixed order
+// makes exposition and snapshot sorting deterministic without any
+// per-call sorting.
+func (l Labels) String() string {
+	if l.IsZero() {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	write := func(k, v string) {
+		if v == "" {
+			return
+		}
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(v))
+	}
+	write("home", l.Home)
+	write("speaker", l.Speaker)
+	write("stage", l.Stage)
+	write("verdict", l.Verdict)
+	write("profile", l.Profile)
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// labelKey returns the sort key for a snapshot entry's label set: ""
+// for unlabeled metrics (so the flat series sorts first), the fixed
+// String rendering otherwise.
+func labelKey(l *Labels) string {
+	if l == nil {
+		return ""
+	}
+	return l.String()
+}

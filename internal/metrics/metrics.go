@@ -18,12 +18,16 @@ import (
 
 // Counter is a monotonically increasing event count.
 type Counter struct {
-	name string
-	v    atomic.Int64
+	name   string
+	labels Labels
+	v      atomic.Int64
 }
 
 // Name returns the counter's registered name.
 func (c *Counter) Name() string { return c.name }
+
+// Labels returns the counter's label set (zero for flat counters).
+func (c *Counter) Labels() Labels { return c.labels }
 
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
@@ -40,12 +44,16 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is an instantaneous level (queue depth, active sessions).
 type Gauge struct {
-	name string
-	v    atomic.Int64
+	name   string
+	labels Labels
+	v      atomic.Int64
 }
 
 // Name returns the gauge's registered name.
 func (g *Gauge) Name() string { return g.name }
+
+// Labels returns the gauge's label set (zero for flat gauges).
+func (g *Gauge) Labels() Labels { return g.labels }
 
 // Set replaces the gauge value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
@@ -59,18 +67,24 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Registry holds named metrics. The zero value is not usable; use
 // NewRegistry or the package-level Default.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -120,6 +134,48 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// CounterVec returns the named counter family, creating it on first
+// use. Family names share the registry namespace with flat metrics:
+// reusing a name across kinds panics.
+func (r *Registry) CounterVec(name string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counterVecs[name]; ok {
+		return v
+	}
+	r.checkFreeLocked(name, "counter vec")
+	v := &CounterVec{v: vec[Counter]{name: name, maxCard: DefaultMaxCardinality, newChild: newCounterChild}}
+	r.counterVecs[name] = v
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it on first use.
+func (r *Registry) GaugeVec(name string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.gaugeVecs[name]; ok {
+		return v
+	}
+	r.checkFreeLocked(name, "gauge vec")
+	v := &GaugeVec{v: vec[Gauge]{name: name, maxCard: DefaultMaxCardinality, newChild: newGaugeChild}}
+	r.gaugeVecs[name] = v
+	return v
+}
+
+// HistogramVec returns the named histogram family, creating it on
+// first use.
+func (r *Registry) HistogramVec(name string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.histogramVecs[name]; ok {
+		return v
+	}
+	r.checkFreeLocked(name, "histogram vec")
+	v := &HistogramVec{v: vec[Histogram]{name: name, maxCard: DefaultMaxCardinality, newChild: newHistogramChild}}
+	r.histogramVecs[name] = v
+	return v
+}
+
 // checkFreeLocked panics if name is already registered as another
 // metric kind. Callers hold r.mu.
 func (r *Registry) checkFreeLocked(name, kind string) {
@@ -132,6 +188,15 @@ func (r *Registry) checkFreeLocked(name, kind string) {
 	if _, ok := r.histograms[name]; ok {
 		panic(fmt.Sprintf("metrics: %q already registered as a histogram, requested as %s", name, kind))
 	}
+	if _, ok := r.counterVecs[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter vec, requested as %s", name, kind))
+	}
+	if _, ok := r.gaugeVecs[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge vec, requested as %s", name, kind))
+	}
+	if _, ok := r.histogramVecs[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a histogram vec, requested as %s", name, kind))
+	}
 }
 
 // NewCounter registers a counter on the Default registry.
@@ -143,21 +208,37 @@ func NewGauge(name string) *Gauge { return Default.Gauge(name) }
 // NewHistogram registers a histogram on the Default registry.
 func NewHistogram(name string) *Histogram { return Default.Histogram(name) }
 
-// CounterSnapshot is one counter's state at snapshot time.
+// NewCounterVec registers a counter family on the Default registry.
+func NewCounterVec(name string) *CounterVec { return Default.CounterVec(name) }
+
+// NewGaugeVec registers a gauge family on the Default registry.
+func NewGaugeVec(name string) *GaugeVec { return Default.GaugeVec(name) }
+
+// NewHistogramVec registers a histogram family on the Default
+// registry.
+func NewHistogramVec(name string) *HistogramVec { return Default.HistogramVec(name) }
+
+// CounterSnapshot is one counter's state at snapshot time. Labels is
+// nil for flat counters.
 type CounterSnapshot struct {
-	Name  string `json:"name"`
-	Value int64  `json:"value"`
+	Name   string  `json:"name"`
+	Labels *Labels `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
 }
 
-// GaugeSnapshot is one gauge's state at snapshot time.
+// GaugeSnapshot is one gauge's state at snapshot time. Labels is nil
+// for flat gauges.
 type GaugeSnapshot struct {
-	Name  string `json:"name"`
-	Value int64  `json:"value"`
+	Name   string  `json:"name"`
+	Labels *Labels `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
 }
 
-// Snapshot is a point-in-time view of every registered metric, sorted
-// by name. Individual values are read atomically; each histogram's
-// Count equals the sum of its bucket counts by construction.
+// Snapshot is a point-in-time view of every registered metric —
+// labeled family children flattened alongside the flat series —
+// sorted by name, then by label set in the fixed field order.
+// Individual values are read atomically; each histogram's Count
+// equals the sum of its bucket counts by construction.
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
 	Gauges     []GaugeSnapshot     `json:"gauges"`
@@ -179,20 +260,59 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, h := range r.histograms {
 		hists = append(hists, h)
 	}
+	for _, cv := range r.counterVecs {
+		for _, c := range cv.v.snapshot() {
+			counters = append(counters, c)
+		}
+	}
+	for _, gv := range r.gaugeVecs {
+		for _, g := range gv.v.snapshot() {
+			gauges = append(gauges, g)
+		}
+	}
+	for _, hv := range r.histogramVecs {
+		for _, h := range hv.v.snapshot() {
+			hists = append(hists, h)
+		}
+	}
 	r.mu.RUnlock()
 
 	var s Snapshot
 	for _, c := range counters {
-		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Value: c.Value()})
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Labels: labelsPtr(c.labels), Value: c.Value()})
 	}
 	for _, g := range gauges {
-		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Value: g.Value()})
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Labels: labelsPtr(g.labels), Value: g.Value()})
 	}
 	for _, h := range hists {
 		s.Histograms = append(s.Histograms, h.snapshot())
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return labelKey(s.Counters[i].Labels) < labelKey(s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return labelKey(s.Gauges[i].Labels) < labelKey(s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return labelKey(s.Histograms[i].Labels) < labelKey(s.Histograms[j].Labels)
+	})
 	return s
+}
+
+// labelsPtr boxes a non-zero label set for a snapshot entry; flat
+// metrics keep a nil Labels so their JSON stays unchanged.
+func labelsPtr(l Labels) *Labels {
+	if l.IsZero() {
+		return nil
+	}
+	return &l
 }

@@ -308,8 +308,8 @@ func TestHandler(t *testing.T) {
 	body.Reset()
 	_, _ = body.ReadFrom(resp.Body)
 	_ = resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
-		t.Fatalf("content type = %q, want application/json", ct)
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeJSON {
+		t.Fatalf("content type = %q, want %q", ct, ContentTypeJSON)
 	}
 	var decoded map[string]any
 	if err := json.Unmarshal(body.Bytes(), &decoded); err != nil {

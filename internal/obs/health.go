@@ -1,0 +1,50 @@
+package obs
+
+import "net/http"
+
+// HealthHandler answers liveness probes: the process is up and
+// serving, nothing more. Always 200.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if !probeMethodOK(w, req) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if req.Method != http.MethodHead {
+			_, _ = w.Write([]byte("ok\n"))
+		}
+	})
+}
+
+// ReadyHandler answers readiness probes: 200 once ready() reports
+// true (the proxy is listening and wired), 503 before that.
+func ReadyHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if !probeMethodOK(w, req) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready == nil || !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if req.Method != http.MethodHead {
+				_, _ = w.Write([]byte("not ready\n"))
+			}
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		if req.Method != http.MethodHead {
+			_, _ = w.Write([]byte("ready\n"))
+		}
+	})
+}
+
+// probeMethodOK gates probe endpoints to GET and HEAD.
+func probeMethodOK(w http.ResponseWriter, req *http.Request) bool {
+	if req.Method == http.MethodGet || req.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"time"
+
+	"voiceguard/internal/decision"
+	"voiceguard/internal/guard"
+	"voiceguard/internal/proxy"
+)
+
+// Default objective parameters. The paper's verification round trip
+// (BLE scan + push reply) averages ~1.6s, so the decision bound allows
+// the scan plus fault-induced retries; the hold bound adds dispatch
+// overhead and the degraded-policy deadline on top.
+const (
+	DefaultDecisionP99Max = 4 * time.Second
+	DefaultHoldP99Max     = 7 * time.Second
+	DefaultHoldQueueMax   = 8 << 20 // bytes of held traffic across sessions
+)
+
+// DefaultObjectives returns the stock service-level objectives for a
+// VoiceGuard deployment or simulation: decision round-trip latency,
+// guard hold latency, and the proxy's held-byte ceiling. Callers may
+// append their own objectives (see LiveObjectives in the root package
+// for the wire plane's set).
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{
+			Name:     "decision-latency-p99",
+			Kind:     SLOLatency,
+			Metric:   decision.MetricLatency,
+			Quantile: 0.99,
+			Max:      DefaultDecisionP99Max,
+		},
+		{
+			Name:     "guard-hold-p99",
+			Kind:     SLOLatency,
+			Metric:   guard.MetricHoldLatency,
+			Quantile: 0.99,
+			Max:      DefaultHoldP99Max,
+		},
+		{
+			Name:    "proxy-hold-queue",
+			Kind:    SLOCeiling,
+			Metric:  proxy.MetricHoldQueueBytes,
+			Ceiling: DefaultHoldQueueMax,
+		},
+	}
+}

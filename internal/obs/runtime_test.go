@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"voiceguard/internal/metrics"
+)
+
+func TestRuntimeCollect(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewRuntime(reg)
+	c.Collect()
+	runtime.GC()
+	c.Collect()
+
+	s := reg.Snapshot()
+	var goroutines, heap int64
+	for _, g := range s.Gauges {
+		switch g.Name {
+		case MetricGoroutines:
+			goroutines = g.Value
+		case MetricHeapBytes:
+			heap = g.Value
+		}
+	}
+	if goroutines <= 0 {
+		t.Fatalf("goroutines gauge = %d, want > 0", goroutines)
+	}
+	if heap <= 0 {
+		t.Fatalf("heap gauge = %d, want > 0", heap)
+	}
+
+	// The GC pause histogram folds cumulative runtime deltas; after a
+	// forced GC it should carry at least one observation, and a third
+	// collect must never shrink it.
+	var gcCount uint64
+	for _, h := range s.Histograms {
+		if h.Name == MetricGCPause {
+			gcCount = h.Count
+		}
+	}
+	if gcCount == 0 {
+		t.Fatalf("gc pause histogram empty after runtime.GC")
+	}
+	c.Collect()
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == MetricGCPause && h.Count < gcCount {
+			t.Fatalf("gc pause count shrank: %d -> %d", gcCount, h.Count)
+		}
+	}
+}
+
+func TestRuntimeStartStop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewRuntime(reg)
+	stop := c.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var g int64
+		for _, gs := range reg.Snapshot().Gauges {
+			if gs.Name == MetricGoroutines {
+				g = gs.Value
+			}
+		}
+		if g > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background collector never sampled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

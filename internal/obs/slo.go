@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"voiceguard/internal/metrics"
+)
+
+// SLOKind selects how an objective is evaluated against a snapshot.
+type SLOKind int
+
+const (
+	// SLOLatency bounds a histogram family: the configured quantile
+	// of all matching series must stay at or under Max. Compliance is
+	// the fraction of observations in buckets whose upper bound is
+	// within Max, so the error budget is 1-Target and burn rates fall
+	// out of the bucket counts directly.
+	SLOLatency SLOKind = iota
+	// SLOCeiling bounds a gauge family: the summed value of all
+	// matching series must stay at or under Ceiling.
+	SLOCeiling
+	// SLOFloor bounds an externally supplied scalar (e.g. a run's
+	// pct_accuracy): the value registered under Metric must stay at
+	// or above Floor.
+	SLOFloor
+)
+
+func (k SLOKind) String() string {
+	switch k {
+	case SLOLatency:
+		return "latency"
+	case SLOCeiling:
+		return "ceiling"
+	case SLOFloor:
+		return "floor"
+	}
+	return "unknown"
+}
+
+// Objective is one declarative service-level objective.
+type Objective struct {
+	Name   string
+	Kind   SLOKind
+	Metric string // metric family (SLOLatency, SLOCeiling) or value key (SLOFloor)
+
+	// Labels filters which series of the family count: every
+	// non-empty field must match. The zero filter aggregates the
+	// whole family (flat series included).
+	Labels metrics.Labels
+
+	Quantile float64       // SLOLatency: reported quantile (default 0.99)
+	Max      time.Duration // SLOLatency: bound observations must stay under
+	// Target is the required fraction of observations within Max
+	// (the error budget is 1-Target). Defaults to Quantile, so the
+	// plain reading "p99 ≤ Max" holds exactly.
+	Target float64
+
+	Ceiling int64   // SLOCeiling: maximum summed gauge value
+	Floor   float64 // SLOFloor: minimum registered value
+}
+
+// SLOResult is one objective's evaluation.
+type SLOResult struct {
+	Objective  Objective
+	Healthy    bool
+	NoData     bool          // nothing matched; Healthy is vacuous
+	Compliance float64       // fraction of observations within Max (latency)
+	BurnRate   float64       // cumulative error-budget burn (latency; 1.0 = budget exactly spent)
+	FastBurn   float64       // burn over the engine's fast window (Engine only)
+	SlowBurn   float64       // burn over the engine's slow window (Engine only)
+	Quantile   time.Duration // measured quantile (latency)
+	Value      float64       // measured value (ceiling/floor)
+	Count      uint64        // observations considered (latency)
+}
+
+// Alert reports the classic multiwindow page condition: the error
+// budget burning faster than sustainable over both the fast and slow
+// windows. Meaningful only for Engine results; one-shot evaluations
+// never alert.
+func (r SLOResult) Alert() bool { return r.FastBurn > 1 && r.SlowBurn > 1 }
+
+// withDefaults fills the objective's defaulted fields.
+func (o Objective) withDefaults() Objective {
+	if o.Quantile <= 0 {
+		o.Quantile = 0.99
+	}
+	if o.Target <= 0 {
+		o.Target = o.Quantile
+	}
+	if o.Target >= 1 {
+		o.Target = 0.9999
+	}
+	return o
+}
+
+// mergeHistograms folds every series of the named family matching the
+// filter into one snapshot (bucket-wise sums). Flat series carry the
+// zero label set for matching purposes.
+func mergeHistograms(s metrics.Snapshot, name string, filter metrics.Labels) metrics.HistogramSnapshot {
+	merged := metrics.HistogramSnapshot{Name: name}
+	for _, h := range s.Histograms {
+		if h.Name != name {
+			continue
+		}
+		var l metrics.Labels
+		if h.Labels != nil {
+			l = *h.Labels
+		}
+		if !l.Match(filter) {
+			continue
+		}
+		if merged.Buckets == nil {
+			merged.Buckets = make([]uint64, len(h.Buckets))
+		}
+		for i, c := range h.Buckets {
+			merged.Buckets[i] += c
+		}
+		merged.Count += h.Count
+		merged.SumSeconds += h.SumSeconds
+	}
+	return merged
+}
+
+// goodBad splits a merged histogram's observations at the objective's
+// Max: buckets whose upper bound is within Max are good, everything
+// past it (the straddling bucket included, overflow included) is bad.
+func goodBad(merged metrics.HistogramSnapshot, max time.Duration) (good, bad uint64) {
+	bounds := metrics.BucketBounds()
+	for i, c := range merged.Buckets {
+		if i < len(bounds) && bounds[i] <= max {
+			good += c
+		} else {
+			bad += c
+		}
+	}
+	return good, bad
+}
+
+// evaluateOne computes the cumulative (window-free) result for one
+// objective.
+func evaluateOne(s metrics.Snapshot, o Objective, values map[string]float64) SLOResult {
+	o = o.withDefaults()
+	res := SLOResult{Objective: o, Healthy: true}
+	switch o.Kind {
+	case SLOLatency:
+		merged := mergeHistograms(s, o.Metric, o.Labels)
+		res.Count = merged.Count
+		if merged.Count == 0 {
+			res.NoData = true
+			res.Compliance = 1
+			return res
+		}
+		good, bad := goodBad(merged, o.Max)
+		res.Compliance = float64(good) / float64(good+bad)
+		res.BurnRate = (1 - res.Compliance) / (1 - o.Target)
+		res.Quantile = merged.Quantile(o.Quantile)
+		res.Healthy = res.Compliance >= o.Target
+	case SLOCeiling:
+		var sum int64
+		found := false
+		for _, g := range s.Gauges {
+			if g.Name != o.Metric {
+				continue
+			}
+			var l metrics.Labels
+			if g.Labels != nil {
+				l = *g.Labels
+			}
+			if l.Match(o.Labels) {
+				sum += g.Value
+				found = true
+			}
+		}
+		res.Value = float64(sum)
+		res.NoData = !found
+		res.Healthy = sum <= o.Ceiling
+	case SLOFloor:
+		v, ok := values[o.Metric]
+		if !ok {
+			res.NoData = true
+			return res
+		}
+		res.Value = v
+		res.Healthy = v >= o.Floor
+	}
+	return res
+}
+
+// Evaluate is the one-shot evaluation of a set of objectives against
+// a snapshot: cumulative compliance and burn, no windowing. values
+// supplies SLOFloor scalars by key (nil is fine).
+func Evaluate(s metrics.Snapshot, objectives []Objective, values map[string]float64) []SLOResult {
+	out := make([]SLOResult, 0, len(objectives))
+	for _, o := range objectives {
+		out = append(out, evaluateOne(s, o, values))
+	}
+	return out
+}
+
+// Engine evaluates objectives over time, deriving fast- and
+// slow-window burn rates from the deltas between timestamped
+// snapshot frames. The caller supplies the clock (pass the simulated
+// now in sims); the engine never reads wall time itself.
+type Engine struct {
+	fast, slow time.Duration
+	objectives []Objective
+
+	mu     sync.Mutex
+	values map[string]float64
+	frames []frame
+}
+
+// frame is the per-objective cumulative good/bad tally at one instant.
+type frame struct {
+	at   time.Time
+	good []uint64
+	bad  []uint64
+}
+
+// DefaultFastWindow and DefaultSlowWindow are the burn-rate windows:
+// the fast one catches a sudden budget fire, the slow one a steady
+// leak.
+const (
+	DefaultFastWindow = 5 * time.Minute
+	DefaultSlowWindow = time.Hour
+)
+
+// NewEngine returns an engine over the given objectives. Non-positive
+// windows take the defaults.
+func NewEngine(fast, slow time.Duration, objectives ...Objective) *Engine {
+	if fast <= 0 {
+		fast = DefaultFastWindow
+	}
+	if slow <= 0 {
+		slow = DefaultSlowWindow
+	}
+	if slow < fast {
+		slow = fast
+	}
+	return &Engine{
+		fast:       fast,
+		slow:       slow,
+		objectives: objectives,
+		values:     make(map[string]float64),
+	}
+}
+
+// Objectives returns the engine's objective list.
+func (e *Engine) Objectives() []Objective { return e.objectives }
+
+// SetValue registers a scalar for SLOFloor objectives keyed by name.
+func (e *Engine) SetValue(name string, v float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.values[name] = v
+}
+
+// Observe folds one timestamped snapshot into the engine and returns
+// the current results, including fast/slow-window burn rates.
+func (e *Engine) Observe(now time.Time, s metrics.Snapshot) []SLOResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	results := make([]SLOResult, 0, len(e.objectives))
+	f := frame{at: now, good: make([]uint64, len(e.objectives)), bad: make([]uint64, len(e.objectives))}
+	for i, o := range e.objectives {
+		res := evaluateOne(s, o, e.values)
+		if o.Kind == SLOLatency {
+			merged := mergeHistograms(s, o.Metric, o.Labels)
+			f.good[i], f.bad[i] = goodBad(merged, o.withDefaults().Max)
+		}
+		results = append(results, res)
+	}
+	e.frames = append(e.frames, f)
+	e.prune(now)
+
+	for i := range results {
+		if e.objectives[i].Kind != SLOLatency {
+			continue
+		}
+		target := e.objectives[i].withDefaults().Target
+		results[i].FastBurn = e.windowBurn(i, now, e.fast, target)
+		results[i].SlowBurn = e.windowBurn(i, now, e.slow, target)
+	}
+	return results
+}
+
+// prune drops frames older than the slow window, keeping one frame at
+// or past the horizon as the window baseline.
+func (e *Engine) prune(now time.Time) {
+	horizon := now.Add(-e.slow)
+	cut := 0
+	for i, f := range e.frames {
+		if !f.at.Before(horizon) {
+			break
+		}
+		cut = i
+	}
+	e.frames = e.frames[cut:]
+}
+
+// windowBurn computes objective i's burn rate over the trailing
+// window: the bad fraction of observations since the window baseline,
+// divided by the error budget.
+func (e *Engine) windowBurn(i int, now time.Time, window time.Duration, target float64) float64 {
+	if len(e.frames) < 2 {
+		return 0
+	}
+	horizon := now.Add(-window)
+	base := e.frames[0]
+	for _, f := range e.frames[1:] {
+		if f.at.After(horizon) {
+			break
+		}
+		base = f
+	}
+	latest := e.frames[len(e.frames)-1]
+	dGood := latest.good[i] - base.good[i]
+	dBad := latest.bad[i] - base.bad[i]
+	if dGood+dBad == 0 {
+		return 0
+	}
+	badFrac := float64(dBad) / float64(dGood+dBad)
+	return badFrac / (1 - target)
+}
+
+// WriteReport renders SLO results one per line, breaches first flag.
+func WriteReport(w io.Writer, results []SLOResult) error {
+	if len(results) == 0 {
+		_, err := fmt.Fprintln(w, "(no objectives)")
+		return err
+	}
+	for _, r := range results {
+		status := "OK    "
+		switch {
+		case r.NoData:
+			status = "NODATA"
+		case !r.Healthy:
+			status = "BREACH"
+		}
+		var detail string
+		switch r.Objective.Kind {
+		case SLOLatency:
+			detail = fmt.Sprintf("p%g=%s (max %s) compliance=%.4f burn=%.2f",
+				r.Objective.Quantile*100, r.Quantile, r.Objective.Max, r.Compliance, r.BurnRate)
+			if r.FastBurn > 0 || r.SlowBurn > 0 {
+				detail += fmt.Sprintf(" fast=%.2f slow=%.2f", r.FastBurn, r.SlowBurn)
+			}
+		case SLOCeiling:
+			detail = fmt.Sprintf("value=%.0f (ceiling %d)", r.Value, r.Objective.Ceiling)
+		case SLOFloor:
+			detail = fmt.Sprintf("value=%.4f (floor %.4f)", r.Value, r.Objective.Floor)
+		}
+		if _, err := fmt.Fprintf(w, "[%s] %-28s %s\n", status, r.Objective.Name, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

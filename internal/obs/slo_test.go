@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"voiceguard/internal/metrics"
+)
+
+func TestEvaluateLatencyObjective(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("svc_latency_seconds")
+	for i := 0; i < 99; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(5 * time.Second) // one tail breach
+
+	obj := Objective{
+		Name:     "svc-p99",
+		Kind:     SLOLatency,
+		Metric:   "svc_latency_seconds",
+		Quantile: 0.99,
+		Max:      200 * time.Millisecond,
+	}
+	res := Evaluate(r.Snapshot(), []Objective{obj}, nil)[0]
+	if res.Count != 100 {
+		t.Fatalf("count = %d, want 100", res.Count)
+	}
+	if res.Compliance != 0.99 {
+		t.Fatalf("compliance = %v, want 0.99", res.Compliance)
+	}
+	// Exactly on target: 1% bad against a 1% budget burns at 1.0 and
+	// still counts as healthy.
+	if !res.Healthy {
+		t.Fatalf("result unhealthy at exactly target compliance: %+v", res)
+	}
+	if res.BurnRate < 0.99 || res.BurnRate > 1.01 {
+		t.Fatalf("burn rate = %v, want ~1.0", res.BurnRate)
+	}
+
+	// One more breach pushes compliance under target.
+	h.Observe(5 * time.Second)
+	res = Evaluate(r.Snapshot(), []Objective{obj}, nil)[0]
+	if res.Healthy {
+		t.Fatalf("result healthy with compliance %v under target", res.Compliance)
+	}
+}
+
+func TestEvaluateLabelFilter(t *testing.T) {
+	r := metrics.NewRegistry()
+	hv := r.HistogramVec("decision_latency_seconds")
+	hv.With(metrics.Labels{Home: "h1"}).Observe(time.Millisecond)
+	for i := 0; i < 10; i++ {
+		hv.With(metrics.Labels{Home: "h2"}).Observe(10 * time.Second)
+	}
+
+	obj := Objective{
+		Name:   "h1-p99",
+		Kind:   SLOLatency,
+		Metric: "decision_latency_seconds",
+		Labels: metrics.Labels{Home: "h1"},
+		Max:    time.Second,
+	}
+	res := Evaluate(r.Snapshot(), []Objective{obj}, nil)[0]
+	if res.Count != 1 || !res.Healthy {
+		t.Fatalf("h1 filter leaked other homes: %+v", res)
+	}
+
+	obj.Labels = metrics.Labels{Home: "h2"}
+	res = Evaluate(r.Snapshot(), []Objective{obj}, nil)[0]
+	if res.Count != 10 || res.Healthy {
+		t.Fatalf("h2 series should breach: %+v", res)
+	}
+}
+
+func TestEvaluateCeilingAndFloor(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Gauge("queue_bytes").Set(900)
+
+	ceiling := Objective{Name: "queue", Kind: SLOCeiling, Metric: "queue_bytes", Ceiling: 1000}
+	floor := Objective{Name: "accuracy", Kind: SLOFloor, Metric: "pct_accuracy", Floor: 0.9}
+
+	vals := map[string]float64{"pct_accuracy": 0.95}
+	res := Evaluate(r.Snapshot(), []Objective{ceiling, floor}, vals)
+	if !res[0].Healthy || res[0].Value != 900 {
+		t.Fatalf("ceiling result = %+v", res[0])
+	}
+	if !res[1].Healthy || res[1].Value != 0.95 {
+		t.Fatalf("floor result = %+v", res[1])
+	}
+
+	r.Gauge("queue_bytes").Set(2000)
+	vals["pct_accuracy"] = 0.5
+	res = Evaluate(r.Snapshot(), []Objective{ceiling, floor}, vals)
+	if res[0].Healthy || res[1].Healthy {
+		t.Fatalf("breaches not detected: %+v", res)
+	}
+
+	res = Evaluate(r.Snapshot(), []Objective{floor}, nil)
+	if !res[0].NoData {
+		t.Fatalf("missing value should be NoData: %+v", res[0])
+	}
+}
+
+func TestEngineBurnWindows(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("svc_latency_seconds")
+	obj := Objective{
+		Name:   "svc-p99",
+		Kind:   SLOLatency,
+		Metric: "svc_latency_seconds",
+		Max:    200 * time.Millisecond,
+		Target: 0.99,
+	}
+	e := NewEngine(5*time.Minute, time.Hour, obj)
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	// An hour of clean traffic, one frame per 5 minutes.
+	for i := 0; i <= 12; i++ {
+		for j := 0; j < 100; j++ {
+			h.Observe(10 * time.Millisecond)
+		}
+		e.Observe(t0.Add(time.Duration(i)*5*time.Minute), r.Snapshot())
+	}
+
+	// Then a budget fire: half the next window's traffic breaches.
+	for j := 0; j < 50; j++ {
+		h.Observe(10 * time.Millisecond)
+		h.Observe(10 * time.Second)
+	}
+	res := e.Observe(t0.Add(65*time.Minute), r.Snapshot())[0]
+
+	// Fast window sees 50 bad / 100 total against a 1% budget: burn 50.
+	if res.FastBurn < 40 {
+		t.Fatalf("fast burn = %v, want ~50", res.FastBurn)
+	}
+	// Slow window dilutes the same fire over ~1400 observations.
+	if res.SlowBurn >= res.FastBurn || res.SlowBurn <= 0 {
+		t.Fatalf("slow burn = %v, want positive and below fast %v", res.SlowBurn, res.FastBurn)
+	}
+	if !res.Alert() {
+		t.Fatalf("both windows burning (fast=%v slow=%v) should alert", res.FastBurn, res.SlowBurn)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("svc_latency_seconds")
+	h.Observe(10 * time.Second)
+	objs := []Objective{
+		{Name: "svc-p99", Kind: SLOLatency, Metric: "svc_latency_seconds", Max: 200 * time.Millisecond},
+		{Name: "accuracy", Kind: SLOFloor, Metric: "pct_accuracy", Floor: 0.9},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, Evaluate(r.Snapshot(), objs, map[string]float64{"pct_accuracy": 0.97})); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[BREACH] svc-p99") {
+		t.Errorf("report missing breach line:\n%s", out)
+	}
+	if !strings.Contains(out, "[OK    ] accuracy") {
+		t.Errorf("report missing OK line:\n%s", out)
+	}
+}

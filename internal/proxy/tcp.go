@@ -26,22 +26,58 @@ import (
 	"voiceguard/internal/trace"
 )
 
+// Metric names, as package-level constants (the vglint metriclabel
+// rule).
+const (
+	metricTCPSessions     = "proxy_tcp_sessions_total"
+	metricTCPActive       = "proxy_tcp_sessions_active"
+	metricHolds           = "proxy_holds_total"
+	metricReleases        = "proxy_releases_total"
+	metricDrops           = "proxy_drops_total"
+	metricBytesIn         = "proxy_bytes_in_total"
+	metricBytesOut        = "proxy_bytes_out_total"
+	metricQueueOverflows  = "proxy_hold_queue_overflows_total"
+	metricUpstreamDialErr = "proxy_upstream_dial_errors_total"
+	metricHoldExpired     = "proxy_hold_deadline_expired_total"
+
+	// MetricHoldQueueBytes is the aggregate held-byte gauge; exported
+	// so SLO ceilings can reference it by constant.
+	MetricHoldQueueBytes = "proxy_hold_queue_bytes"
+	// MetricOutcomes counts hold resolutions on the wire plane,
+	// labeled {stage="proxy", verdict=release|drop|expired}.
+	MetricOutcomes = "proxy_outcomes"
+)
+
+// Label values of the MetricOutcomes family.
+const (
+	stageProxy     = "proxy"
+	verdictRelease = "release"
+	verdictDrop    = "drop"
+	verdictExpired = "expired"
+)
+
 // Transport metrics: session lifecycle, hold outcomes, byte volume in
 // both directions, and the live depth of the hold queues. The queue
 // gauge aggregates across sessions, so a long-lived deployment can
-// watch held bytes drain as verdicts arrive.
+// watch held bytes drain as verdicts arrive. The labeled outcome
+// children are resolved once at init, keeping the verdict paths on
+// the zero-alloc fast path.
 var (
-	mTCPSessions     = metrics.NewCounter("proxy_tcp_sessions_total")
-	mTCPActive       = metrics.NewGauge("proxy_tcp_sessions_active")
-	mHolds           = metrics.NewCounter("proxy_holds_total")
-	mReleases        = metrics.NewCounter("proxy_releases_total")
-	mDrops           = metrics.NewCounter("proxy_drops_total")
-	mBytesIn         = metrics.NewCounter("proxy_bytes_in_total")
-	mBytesOut        = metrics.NewCounter("proxy_bytes_out_total")
-	mHoldQueueBytes  = metrics.NewGauge("proxy_hold_queue_bytes")
-	mQueueOverflows  = metrics.NewCounter("proxy_hold_queue_overflows_total")
-	mUpstreamDialErr = metrics.NewCounter("proxy_upstream_dial_errors_total")
-	mHoldExpired     = metrics.NewCounter("proxy_hold_deadline_expired_total")
+	mTCPSessions     = metrics.NewCounter(metricTCPSessions)
+	mTCPActive       = metrics.NewGauge(metricTCPActive)
+	mHolds           = metrics.NewCounter(metricHolds)
+	mReleases        = metrics.NewCounter(metricReleases)
+	mDrops           = metrics.NewCounter(metricDrops)
+	mBytesIn         = metrics.NewCounter(metricBytesIn)
+	mBytesOut        = metrics.NewCounter(metricBytesOut)
+	mHoldQueueBytes  = metrics.NewGauge(MetricHoldQueueBytes)
+	mQueueOverflows  = metrics.NewCounter(metricQueueOverflows)
+	mUpstreamDialErr = metrics.NewCounter(metricUpstreamDialErr)
+	mHoldExpired     = metrics.NewCounter(metricHoldExpired)
+	mOutcomesVec     = metrics.NewCounterVec(MetricOutcomes)
+	lvRelease        = mOutcomesVec.With(metrics.Labels{Stage: stageProxy, Verdict: verdictRelease})
+	lvDrop           = mOutcomesVec.With(metrics.Labels{Stage: stageProxy, Verdict: verdictDrop})
+	lvExpired        = mOutcomesVec.With(metrics.Labels{Stage: stageProxy, Verdict: verdictExpired})
 )
 
 // ErrQueueOverflow is returned when a hold accumulates more bytes
@@ -357,6 +393,7 @@ func (s *Session) expireHold() {
 		return // the verdict won the race; nothing to expire
 	}
 	mHoldExpired.Inc()
+	lvExpired.Inc()
 	trace.Default.Record(trace.Event(s.cmd, trace.StageProxy, "hold_deadline", time.Now(),
 		trace.Duration("deadline", s.holdDeadline),
 		trace.String("action", s.deadlineAction.String()),
@@ -409,6 +446,7 @@ func (s *Session) Release() error {
 
 func (s *Session) releaseLocked() error {
 	mReleases.Inc()
+	lvRelease.Inc()
 	mHoldQueueBytes.Add(-int64(s.queued))
 	wasHolding, flushed := s.holding, s.queued
 	for _, chunk := range s.queue {
@@ -453,6 +491,7 @@ func (s *Session) Drop() int {
 
 func (s *Session) dropLocked() int {
 	mDrops.Inc()
+	lvDrop.Inc()
 	mHoldQueueBytes.Add(-int64(s.queued))
 	n := s.queued
 	s.dropped += n

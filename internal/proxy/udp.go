@@ -9,12 +9,21 @@ import (
 	"voiceguard/internal/metrics"
 )
 
+// UDP-path metric names, as package-level constants (the vglint
+// metriclabel rule).
+const (
+	metricUDPForwarded  = "proxy_udp_datagrams_forwarded_total"
+	metricUDPHeld       = "proxy_udp_datagrams_held_total"
+	metricUDPDropped    = "proxy_udp_datagrams_dropped_total"
+	metricUDPQueueDepth = "proxy_udp_hold_queue_datagrams"
+)
+
 // UDP-path metrics (the Google Home Mini's QUIC flow).
 var (
-	mUDPForwarded  = metrics.NewCounter("proxy_udp_datagrams_forwarded_total")
-	mUDPHeld       = metrics.NewCounter("proxy_udp_datagrams_held_total")
-	mUDPDropped    = metrics.NewCounter("proxy_udp_datagrams_dropped_total")
-	mUDPQueueDepth = metrics.NewGauge("proxy_udp_hold_queue_datagrams")
+	mUDPForwarded  = metrics.NewCounter(metricUDPForwarded)
+	mUDPHeld       = metrics.NewCounter(metricUDPHeld)
+	mUDPDropped    = metrics.NewCounter(metricUDPDropped)
+	mUDPQueueDepth = metrics.NewGauge(metricUDPQueueDepth)
 )
 
 // UDPTap observes each client-to-upstream datagram before forwarding.

@@ -28,19 +28,37 @@ import (
 	"voiceguard/internal/trace"
 )
 
+// Metric names, as package-level constants (the vglint metriclabel
+// rule).
+const (
+	metricPushes        = "push_requests_total"
+	metricPushOffline   = "push_offline_devices_total"
+	metricPushRoundTrip = "push_roundtrip_seconds"
+	metricPushRetries   = "push_retries_total"
+	metricPushFailures  = "push_send_failures_total"
+	metricPushStale     = "push_stale_replies_total"
+	metricPushDupes     = "push_duplicate_replies_total"
+	metricPushCorrupt   = "push_corrupt_replies_total"
+
+	// MetricLatency is the labeled push round-trip family keyed by
+	// home/speaker/profile, with per-bucket command-ID exemplars.
+	MetricLatency = "push_latency_seconds"
+)
+
 // Push-channel metrics: per-device push volume, the full
 // push→scan→reply round trip on the simulated clock (Fig. 7's
 // delay-decomposition scale), and the failure-path counters the
 // fault-injection layer exercises.
 var (
-	mPushes        = metrics.NewCounter("push_requests_total")
-	mPushOffline   = metrics.NewCounter("push_offline_devices_total")
-	mPushRoundTrip = metrics.NewHistogram("push_roundtrip_seconds")
-	mPushRetries   = metrics.NewCounter("push_retries_total")
-	mPushFailures  = metrics.NewCounter("push_send_failures_total")
-	mPushStale     = metrics.NewCounter("push_stale_replies_total")
-	mPushDupes     = metrics.NewCounter("push_duplicate_replies_total")
-	mPushCorrupt   = metrics.NewCounter("push_corrupt_replies_total")
+	mPushes        = metrics.NewCounter(metricPushes)
+	mPushOffline   = metrics.NewCounter(metricPushOffline)
+	mPushRoundTrip = metrics.NewHistogram(metricPushRoundTrip)
+	mPushRetries   = metrics.NewCounter(metricPushRetries)
+	mPushFailures  = metrics.NewCounter(metricPushFailures)
+	mPushStale     = metrics.NewCounter(metricPushStale)
+	mPushDupes     = metrics.NewCounter(metricPushDupes)
+	mPushCorrupt   = metrics.NewCounter(metricPushCorrupt)
+	mLatencyVec    = metrics.NewHistogramVec(MetricLatency)
 )
 
 // Latency model parameters (seconds). Push delivery is log-normal
@@ -127,6 +145,10 @@ type Broker struct {
 	tracer     *trace.Tracer
 	maxRetries int
 	retryBase  time.Duration
+
+	// lvRoundTrip is the resolved labeled round-trip child; SetLabels
+	// re-resolves it so delivery-path updates stay allocation-free.
+	lvRoundTrip *metrics.Histogram
 }
 
 // NewBroker returns a broker on the simulated clock with the default
@@ -139,6 +161,15 @@ func NewBroker(clock *simtime.Sim, src *rng.Source) *Broker {
 		maxRetries: DefaultMaxRetries,
 		retryBase:  DefaultRetryBase,
 	}
+}
+
+// SetLabels sets the broker's metric label dimensions (home/tenant,
+// speaker, fault profile), resolving the labeled round-trip child
+// once so delivery-path updates stay on the zero-alloc path.
+func (b *Broker) SetLabels(l metrics.Labels) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lvRoundTrip = mLatencyVec.With(l)
 }
 
 // SetFaults installs the fault plan for subsequent sends. A nil plan
@@ -372,6 +403,9 @@ func (b *Broker) deliverReply(d *Device, reading ble.Reading, at, reqStart time.
 		mPushStale.Inc()
 	} else {
 		mPushRoundTrip.Observe(at.Sub(reqStart))
+		if b.lvRoundTrip != nil {
+			b.lvRoundTrip.ObserveExemplar(at.Sub(reqStart), uint64(cmd))
+		}
 		if dup {
 			mPushDupes.Inc()
 		}

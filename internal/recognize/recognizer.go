@@ -13,10 +13,16 @@ import (
 // Phase-1 markers identify command spikes, phase-2 markers response
 // spikes (§IV-B1); the fallback counter tracks command spikes caught
 // only by the fixed packet-length patterns.
+const (
+	metricPhase1Markers   = "recognize_phase1_marker_total"
+	metricPhase2Markers   = "recognize_phase2_marker_total"
+	metricFallbackMatches = "recognize_fallback_match_total"
+)
+
 var (
-	mPhase1Markers   = metrics.NewCounter("recognize_phase1_marker_total")
-	mPhase2Markers   = metrics.NewCounter("recognize_phase2_marker_total")
-	mFallbackMatches = metrics.NewCounter("recognize_fallback_match_total")
+	mPhase1Markers   = metrics.NewCounter(metricPhase1Markers)
+	mPhase2Markers   = metrics.NewCounter(metricPhase2Markers)
+	mFallbackMatches = metrics.NewCounter(metricFallbackMatches)
 )
 
 // Kind selects the per-speaker recognition procedure.

@@ -8,9 +8,14 @@ import (
 )
 
 // Tracker metrics: how the cloud server's address was (re)learned.
+const (
+	metricTrackerDNSUpdates = "recognize_tracker_dns_updates_total"
+	metricTrackerSigMatches = "recognize_tracker_signature_matches_total"
+)
+
 var (
-	mTrackerDNSUpdates = metrics.NewCounter("recognize_tracker_dns_updates_total")
-	mTrackerSigMatches = metrics.NewCounter("recognize_tracker_signature_matches_total")
+	mTrackerDNSUpdates = metrics.NewCounter(metricTrackerDNSUpdates)
+	mTrackerSigMatches = metrics.NewCounter(metricTrackerSigMatches)
 )
 
 // AVSTracker maintains the current IP address of the speaker's cloud

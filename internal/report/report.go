@@ -10,7 +10,9 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
+	"voiceguard/internal/obs"
 	"voiceguard/internal/scenario"
 	"voiceguard/internal/stats"
 )
@@ -312,23 +314,52 @@ func FaultTable(points []scenario.FaultPoint) string {
 	}
 	b.WriteString("\n")
 	w := tabwriter.NewWriter(&b, 4, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "profile\taccuracy\tΔacc\tmean delay\tΔdelay\tp99 delay\tdegraded\t")
+	fmt.Fprintln(w, "profile\taccuracy\tΔacc\tmean delay\tΔdelay\tp99 delay\tdecision p99\tslo\tdegraded\t")
 	var base scenario.FaultPoint
 	for i, pt := range points {
 		if i == 0 {
 			base = pt
 		}
-		fmt.Fprintf(w, "%s\t%.2f%%\t%+.2fpp\t%.2fs\t%+.2fs\t%.2fs\t%d\t\n",
+		fmt.Fprintf(w, "%s\t%.2f%%\t%+.2fpp\t%.2fs\t%+.2fs\t%.2fs\t%s\t%s\t%d\t\n",
 			pt.Profile.Name,
 			100*pt.Confusion.Accuracy(),
 			100*(pt.Confusion.Accuracy()-base.Confusion.Accuracy()),
 			pt.Latency.Mean, pt.Latency.Mean-base.Latency.Mean,
-			pt.Latency.P99, pt.Degraded)
+			pt.Latency.P99, pt.LatencyP99.Round(time.Millisecond),
+			sloStatus(pt.SLO), pt.Degraded)
 	}
 	_ = w.Flush()
 	b.WriteString("\nDeltas are against the clean-channel baseline; the same seed\n" +
-		"drives every row, so drift is attributable to the faults alone.\n")
+		"drives every row, so drift is attributable to the faults alone.\n" +
+		"The decision p99 and SLO columns are read back from the labeled\n" +
+		"metrics plane for each row's (home, profile) series.\n")
 	return b.String()
+}
+
+// sloStatus summarises a point's SLO evaluation in one word.
+func sloStatus(results []obs.SLOResult) string {
+	if len(results) == 0 {
+		return "-"
+	}
+	breaches := 0
+	data := false
+	for _, r := range results {
+		if r.NoData {
+			continue
+		}
+		data = true
+		if !r.Healthy {
+			breaches++
+		}
+	}
+	switch {
+	case !data:
+		return "nodata"
+	case breaches > 0:
+		return fmt.Sprintf("breach(%d)", breaches)
+	default:
+		return "ok"
+	}
 }
 
 // CorpusTable renders the §V-A2 command-length analysis.

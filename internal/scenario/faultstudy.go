@@ -1,9 +1,15 @@
 package scenario
 
 import (
+	"fmt"
+	"time"
+
+	"voiceguard/internal/decision"
 	"voiceguard/internal/faults"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/guard"
+	"voiceguard/internal/metrics"
+	"voiceguard/internal/obs"
 	"voiceguard/internal/parallel"
 	"voiceguard/internal/radio"
 	"voiceguard/internal/stats"
@@ -18,6 +24,16 @@ type FaultPoint struct {
 	Latency   stats.Summary // verification seconds over recognized commands
 	Commands  int           // recognized commands
 	Degraded  int           // verdicts decided by the degraded policy
+
+	// LatencyP99 is the p99 decision round-trip latency read back from
+	// the labeled metrics plane for exactly this run's (home, profile)
+	// series — the dimensional cross-check of Latency.P99, which is
+	// computed from the run's own records.
+	LatencyP99 time.Duration
+
+	// SLO evaluates the study's objectives (decision latency, guard
+	// hold) against the same (home, profile) slice of the registry.
+	SLO []obs.SLOResult
 }
 
 // FaultStudyConfig parameterises a fault study. The zero value (after
@@ -27,7 +43,37 @@ type FaultStudyConfig struct {
 	Profiles []faults.Profile // defaults to faults.Profiles()
 	Policy   guard.DegradedPolicy
 	Days     int // defaults to 7
-	Seed     int64
+
+	// Home labels the study's runs in the metrics plane; it defaults
+	// to "faults-<seed>" so concurrent or repeated studies with
+	// different seeds keep their series apart.
+	Home string
+
+	Seed int64
+}
+
+// faultObjectives is the per-profile SLO set a fault study evaluates,
+// scoped to the study's (home, profile) label slice.
+func faultObjectives(home, profile string) []obs.Objective {
+	labels := metrics.Labels{Home: home, Profile: profile}
+	return []obs.Objective{
+		{
+			Name:     "decision-latency-p99",
+			Kind:     obs.SLOLatency,
+			Metric:   decision.MetricLatency,
+			Labels:   labels,
+			Quantile: 0.99,
+			Max:      obs.DefaultDecisionP99Max,
+		},
+		{
+			Name:     "guard-hold-p99",
+			Kind:     obs.SLOLatency,
+			Metric:   guard.MetricHoldLatency,
+			Labels:   labels,
+			Quantile: 0.99,
+			Max:      obs.DefaultHoldP99Max,
+		},
+	}
 }
 
 // FaultStudy re-runs the 7-day protection protocol once per fault
@@ -36,6 +82,10 @@ type FaultStudyConfig struct {
 // latency drift is attributable to the injected faults alone. Runs
 // fan out across the parallel worker pool; the returned points are in
 // profile order and bit-identical for a fixed seed.
+//
+// Each profile run is labeled (home, profile) in the metrics plane;
+// the returned points carry the per-label p99 decision latency and
+// SLO evaluation read back from that slice of the registry.
 func FaultStudy(cfg FaultStudyConfig) ([]FaultPoint, error) {
 	profiles := cfg.Profiles
 	if len(profiles) == 0 {
@@ -45,6 +95,14 @@ func FaultStudy(cfg FaultStudyConfig) ([]FaultPoint, error) {
 	if days == 0 {
 		days = 7
 	}
+	home := cfg.Home
+	if home == "" {
+		home = fmt.Sprintf("faults-%d", cfg.Seed)
+	}
+	// The registry is process-wide and cumulative; the baseline
+	// snapshot scopes each point's SLO evaluation to this study's own
+	// contribution, so repeated studies stay bit-identical.
+	base := metrics.Default.Snapshot()
 	return parallel.MapErr(len(profiles), func(i int) (FaultPoint, error) {
 		p := profiles[i]
 		c := Config{
@@ -57,6 +115,7 @@ func FaultStudy(cfg FaultStudyConfig) ([]FaultPoint, error) {
 			},
 			Days:     days,
 			Degraded: cfg.Policy,
+			Home:     home,
 			Seed:     cfg.Seed,
 		}
 		if p.Name != "none" {
@@ -78,6 +137,12 @@ func FaultStudy(cfg FaultStudyConfig) ([]FaultPoint, error) {
 			}
 			if rec.Degraded {
 				pt.Degraded++
+			}
+		}
+		pt.SLO = obs.Evaluate(metrics.Delta(base, metrics.Default.Snapshot()), faultObjectives(home, p.Name), nil)
+		for _, r := range pt.SLO {
+			if r.Objective.Metric == decision.MetricLatency {
+				pt.LatencyP99 = r.Quantile
 			}
 		}
 		return pt, nil

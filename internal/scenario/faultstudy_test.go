@@ -46,6 +46,48 @@ func TestFaultStudyDeterministicForSeed(t *testing.T) {
 	}
 }
 
+// Each fault point reads its p99 decision latency and SLO evaluation
+// back from the labeled metrics plane: the series keyed by this
+// study's (home, profile) must carry exactly the run's observations.
+func TestFaultStudyPerLabelLatency(t *testing.T) {
+	points, err := scenario.FaultStudy(scenario.FaultStudyConfig{
+		Profiles: []faults.Profile{faults.None(), {Name: "drop20", Drop: 0.20}},
+		Days:     1,
+		Home:     "perlabel-home",
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.Commands == 0 {
+			t.Fatalf("profile %q recognized no commands", pt.Profile.Name)
+		}
+		if pt.LatencyP99 <= 0 {
+			t.Errorf("profile %q: labeled decision p99 = %v, want > 0", pt.Profile.Name, pt.LatencyP99)
+		}
+		if len(pt.SLO) == 0 {
+			t.Fatalf("profile %q: no SLO results", pt.Profile.Name)
+		}
+		for _, r := range pt.SLO {
+			if r.NoData {
+				t.Errorf("profile %q: objective %q matched no data for labels %s",
+					pt.Profile.Name, r.Objective.Name, r.Objective.Labels.String())
+			}
+			if got := r.Objective.Labels.Home; got != "perlabel-home" {
+				t.Errorf("objective %q scoped to home %q, want perlabel-home", r.Objective.Name, got)
+			}
+			if got := r.Objective.Labels.Profile; got != pt.Profile.Name {
+				t.Errorf("objective %q scoped to profile %q, want %q", r.Objective.Name, got, pt.Profile.Name)
+			}
+			if int(r.Count) != pt.Commands {
+				t.Errorf("profile %q: objective %q counted %d observations, want the run's %d commands",
+					pt.Profile.Name, r.Objective.Name, r.Count, pt.Commands)
+			}
+		}
+	}
+}
+
 // With the push channel fully dead, every verdict is decided by the
 // degraded policy: fail-closed blocks every recognized command,
 // fail-open releases every one.

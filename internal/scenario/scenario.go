@@ -15,6 +15,7 @@ import (
 	"voiceguard/internal/faults"
 	"voiceguard/internal/floorplan"
 	"voiceguard/internal/guard"
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/mobility"
 	"voiceguard/internal/pcap"
 	"voiceguard/internal/push"
@@ -65,6 +66,14 @@ type Config struct {
 	Spot    string // deployment location name ("A" or "B")
 	Speaker SpeakerKind
 	Devices []DeviceSpec
+
+	// Home labels this run's metric series in the dimensional
+	// observability plane (the `home` label on decision latency, guard
+	// verdicts, and push round-trips). Fleet studies give every
+	// tenant/run a distinct Home so per-run p99s and SLOs can be read
+	// back from one shared registry. Empty leaves the home dimension
+	// unset.
+	Home string
 
 	Days         int
 	LegitPerDay  int // owner commands per day (default 13)
@@ -451,9 +460,20 @@ func (r *run) trainClassifier() (*decision.TraceClassifier, error) {
 // setupGuard wires the guard for the configured speaker.
 func (r *run) setupGuard() error {
 	broker := push.NewBroker(r.clock, r.root.Split("push"))
+	profile := faults.None().Name
 	if r.cfg.Faults != nil {
 		broker.SetFaults(faults.NewPlan(*r.cfg.Faults, r.clock, r.root.Split("faults")))
+		profile = r.cfg.Faults.Name
 	}
+	// The run's label set: every stage below shares it, so one labeled
+	// snapshot slices the whole pipeline by (home, speaker, profile) —
+	// multi-speaker homes separate on the speaker dimension.
+	speakerLabel := "echo"
+	if r.cfg.Speaker == GHM {
+		speakerLabel = "ghm"
+	}
+	labels := metrics.Labels{Home: r.cfg.Home, Speaker: speakerLabel, Profile: profile}
+	broker.SetLabels(labels)
 	devices := make([]decision.DeviceConfig, 0, len(r.owners))
 	for _, o := range r.owners {
 		o := o
@@ -479,6 +499,7 @@ func (r *run) setupGuard() error {
 		Broker:  broker,
 		Adv:     r.adv,
 		Devices: devices,
+		Labels:  labels,
 	}
 
 	switch r.cfg.Speaker {
@@ -496,6 +517,7 @@ func (r *run) setupGuard() error {
 		}
 		r.feed(boot)
 	}
+	r.guard.SetLabels(labels)
 	r.guard.Degraded = r.cfg.Degraded
 	return nil
 }

@@ -116,19 +116,38 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 	}{events})
 }
 
+// Exposition content types served by Handler.
+const (
+	ContentTypeJSONL  = "application/x-ndjson"
+	ContentTypeChrome = "application/json"
+)
+
 // Handler serves the tracer's flight recorder over HTTP: JSONL by
-// default, Chrome trace_event with ?format=chrome.
+// default, Chrome trace_event with ?format=chrome. GET and HEAD only;
+// HEAD returns the headers without a body.
 func Handler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		chrome := req.URL.Query().Get("format") == "chrome"
+		if chrome {
+			w.Header().Set("Content-Type", ContentTypeChrome)
+		} else {
+			w.Header().Set("Content-Type", ContentTypeJSONL)
+		}
+		if req.Method == http.MethodHead {
+			return
+		}
 		spans := t.Snapshot()
-		if req.URL.Query().Get("format") == "chrome" {
-			w.Header().Set("Content-Type", "application/json")
+		if chrome {
 			if err := WriteChromeTrace(w, spans); err != nil {
 				http.Error(w, fmt.Sprintf("trace: %v", err), http.StatusInternalServerError)
 			}
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = WriteJSONL(w, spans)
 	})
 }

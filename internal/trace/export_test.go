@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -141,4 +142,86 @@ func TestHandlerServesBothFormats(t *testing.T) {
 	if len(doc.TraceEvents) != 3 {
 		t.Fatalf("chrome traceEvents = %d, want 3", len(doc.TraceEvents))
 	}
+}
+
+func TestHandlerMethodHygiene(t *testing.T) {
+	tr := New(8)
+	tr.Record(sampleSpans()[0])
+	h := Handler(tr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("HEAD", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HEAD status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentTypeJSONL {
+		t.Fatalf("HEAD Content-Type = %q", ct)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("HEAD returned a body: %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/trace", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Fatalf("405 Allow header = %q", allow)
+	}
+}
+
+// TestHandlerExportWhileRecording hammers the flight recorder from
+// writer goroutines while the HTTP handler exports snapshots. Run
+// under -race this is the export-while-record gate for the trace
+// plane, and every served JSONL body must still parse line by line.
+func TestHandlerExportWhileRecording(t *testing.T) {
+	tr := New(128)
+	h := Handler(tr)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Record(Span{
+					Command: CommandID(w*1_000_000 + i),
+					Stage:   StageLive,
+					Name:    "burst",
+					Start:   start,
+					End:     start.Add(time.Millisecond),
+					Attrs:   []Attr{String(AttrOutcome, OutcomeRelease)},
+				})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+		if rec.Code != 200 {
+			t.Fatalf("scrape %d: status %d", i, rec.Code)
+		}
+		sc := bufio.NewScanner(rec.Body)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var span map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+				t.Fatalf("scrape %d: bad JSONL line %q: %v", i, sc.Text(), err)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -13,15 +13,41 @@ import (
 	"voiceguard/internal/trace"
 )
 
+// Wire-plane metric names. MetricLiveHoldSeconds is exported so SLO
+// objectives (internal/obs) can reference the histogram by name.
+const (
+	metricLiveHeld        = "live_bursts_held_total"
+	metricLiveReleased    = "live_bursts_released_total"
+	metricLiveDropped     = "live_bursts_dropped_total"
+	metricLiveNonCommands = "live_noncommand_spikes_total"
+
+	// MetricLiveHoldSeconds is the wall-clock hold duration (hold
+	// started → verdict applied) on the wire plane.
+	MetricLiveHoldSeconds = "live_hold_seconds"
+	// MetricLiveVerdicts is the labeled verdict family for the wire
+	// plane, keyed by {stage="live", verdict}.
+	MetricLiveVerdicts = "live_verdicts"
+
+	stageLive          = "live"
+	liveVerdictRelease = "release"
+	liveVerdictDrop    = "drop"
+)
+
 // Wire-plane metrics shared by LiveProxy and LiveGuard: burst/command
 // outcomes and the wall-clock hold duration (hold started → verdict
-// applied). These are what `vgproxy -metrics-addr` serves.
+// applied). These are what `vgproxy -metrics-addr` serves. Labeled
+// verdict children are resolved once at init so the per-burst path
+// stays allocation-free.
 var (
-	mLiveHeld        = metrics.NewCounter("live_bursts_held_total")
-	mLiveReleased    = metrics.NewCounter("live_bursts_released_total")
-	mLiveDropped     = metrics.NewCounter("live_bursts_dropped_total")
-	mLiveNonCommands = metrics.NewCounter("live_noncommand_spikes_total")
-	mLiveHoldSeconds = metrics.NewHistogram("live_hold_seconds")
+	mLiveHeld        = metrics.NewCounter(metricLiveHeld)
+	mLiveReleased    = metrics.NewCounter(metricLiveReleased)
+	mLiveDropped     = metrics.NewCounter(metricLiveDropped)
+	mLiveNonCommands = metrics.NewCounter(metricLiveNonCommands)
+	mLiveHoldSeconds = metrics.NewHistogram(MetricLiveHoldSeconds)
+
+	mLiveVerdictsVec = metrics.NewCounterVec(MetricLiveVerdicts)
+	lvLiveRelease    = mLiveVerdictsVec.With(metrics.Labels{Stage: stageLive, Verdict: liveVerdictRelease})
+	lvLiveDrop       = mLiveVerdictsVec.With(metrics.Labels{Stage: stageLive, Verdict: liveVerdictDrop})
 )
 
 // DecisionFunc decides whether the voice command currently held by
@@ -151,7 +177,7 @@ func (lp *LiveProxy) adjudicate(s *proxy.Session, id trace.CommandID) {
 	start := time.Now()
 	legit := lp.decide(trace.WithCommand(lp.ctx, id))
 	end := time.Now()
-	mLiveHoldSeconds.Observe(end.Sub(start))
+	mLiveHoldSeconds.ObserveExemplar(end.Sub(start), uint64(id))
 	outcome := trace.OutcomeDrop
 	if legit {
 		outcome = trace.OutcomeRelease
@@ -170,6 +196,7 @@ func (lp *LiveProxy) adjudicate(s *proxy.Session, id trace.CommandID) {
 		lp.released++
 		lp.mu.Unlock()
 		mLiveReleased.Inc()
+		lvLiveRelease.Inc()
 		return
 	}
 	s.Drop()
@@ -177,6 +204,7 @@ func (lp *LiveProxy) adjudicate(s *proxy.Session, id trace.CommandID) {
 	lp.dropped++
 	lp.mu.Unlock()
 	mLiveDropped.Inc()
+	lvLiveDrop.Inc()
 }
 
 // Addr returns the proxy's listen address.

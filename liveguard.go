@@ -227,7 +227,7 @@ func (g *LiveGuard) adjudicate(s *proxy.Session, id trace.CommandID) {
 	start := time.Now()
 	legit := g.decide(trace.WithCommand(g.ctx, id))
 	end := time.Now()
-	mLiveHoldSeconds.Observe(end.Sub(start))
+	mLiveHoldSeconds.ObserveExemplar(end.Sub(start), uint64(id))
 	outcome := trace.OutcomeDrop
 	if legit {
 		outcome = trace.OutcomeRelease
@@ -248,11 +248,13 @@ func (g *LiveGuard) adjudicate(s *proxy.Session, id trace.CommandID) {
 	if legit {
 		g.stats.CommandsReleased++
 		mLiveReleased.Inc()
+		lvLiveRelease.Inc()
 		_ = s.Release()
 		return
 	}
 	g.stats.CommandsDropped++
 	mLiveDropped.Inc()
+	lvLiveDrop.Inc()
 	s.Drop()
 }
 

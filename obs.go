@@ -1,0 +1,25 @@
+package voiceguard
+
+import (
+	"time"
+
+	"voiceguard/internal/obs"
+)
+
+// DefaultLiveHoldP99Max bounds the wire plane's p99 hold duration: a
+// held burst should be adjudicated well before the speaker's cloud
+// session or the user notices the stall.
+const DefaultLiveHoldP99Max = 2 * time.Second
+
+// LiveObjectives returns the wire plane's SLO set: the stock pipeline
+// objectives plus the live hold-latency bound, evaluated over the
+// metrics `vgproxy -metrics-addr` serves.
+func LiveObjectives() []obs.Objective {
+	return append(obs.DefaultObjectives(), obs.Objective{
+		Name:     "live-hold-p99",
+		Kind:     obs.SLOLatency,
+		Metric:   MetricLiveHoldSeconds,
+		Quantile: 0.99,
+		Max:      DefaultLiveHoldP99Max,
+	})
+}

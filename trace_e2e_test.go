@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"voiceguard/internal/emul"
+	"voiceguard/internal/metrics"
 	"voiceguard/internal/trace"
 )
 
@@ -118,5 +119,118 @@ func TestCommandLifecycleTraceLinksAllStages(t *testing.T) {
 		if !got[want] {
 			t.Errorf("command %d missing span %s; got %v", id, want, got)
 		}
+	}
+}
+
+// TestExemplarLinksHistogramBucketToTrace is the observability
+// plane's correlation acceptance test: after one live command crosses
+// the guard, the live-hold histogram bucket that absorbed it must
+// retain the command's ID as its exemplar, and that same ID must
+// resolve to the command's spans in the exported trace JSONL —
+// latency tail to causal trace, with no intermediate lookup table.
+func TestExemplarLinksHistogramBucketToTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "spans.jsonl")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.Default.SetSink(trace.JSONLSink(f))
+	defer func() {
+		trace.Default.SetSink(nil)
+		_ = f.Close()
+	}()
+
+	cloud, err := emul.NewCloudServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	ctxID := make(chan trace.CommandID, 1)
+	guard, err := StartLiveGuard("127.0.0.1:0", cloud.Addr(), func(ctx context.Context) bool {
+		id, _ := trace.CommandFromContext(ctx)
+		ctxID <- id
+		return true
+	}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Close()
+
+	speaker, err := emul.DialSpeaker(guard.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+	if err := speaker.SendPattern(commandLengths, emul.MsgCommand); err != nil {
+		t.Fatal(err)
+	}
+	if err := speaker.SendPattern([]int{60}, emul.MsgEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := speaker.Await(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, guard, func(s LiveGuardStats) bool { return s.CommandsReleased == 1 })
+
+	var id trace.CommandID
+	select {
+	case id = <-ctxID:
+	case <-time.After(time.Second):
+		t.Fatal("DecisionFunc never ran")
+	}
+
+	// The hold-latency bucket the command landed in keeps its ID as
+	// the exemplar (most recent per bucket; tests in this package run
+	// sequentially, so ours is the latest write).
+	bucket := -1
+	for _, h := range metrics.Default.Snapshot().Histograms {
+		if h.Name != MetricLiveHoldSeconds || h.Labels != nil {
+			continue
+		}
+		for i, ex := range h.Exemplars {
+			if ex == uint64(id) {
+				bucket = i
+			}
+		}
+	}
+	if bucket < 0 {
+		t.Fatalf("no %s bucket holds exemplar %d", MetricLiveHoldSeconds, id)
+	}
+
+	// The exemplar ID resolves to the command's spans in the JSONL
+	// export: the latency tail links straight to its causal trace.
+	trace.Default.SetSink(nil)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	spans := make(map[string]bool)
+	sc := bufio.NewScanner(rf)
+	for sc.Scan() {
+		var r struct {
+			CommandID uint64 `json:"command_id"`
+			Stage     string `json:"stage"`
+			Name      string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line: %v\n%s", err, sc.Text())
+		}
+		if r.CommandID == uint64(id) {
+			spans[r.Stage+"/"+r.Name] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatalf("exemplar command %d has no spans in the export", id)
+	}
+	if !spans[trace.StageDecision+"/live_decide"] {
+		t.Errorf("exemplar command %d missing decision span; got %v", id, spans)
 	}
 }
