@@ -123,6 +123,74 @@ func BenchmarkHomeDay(b *testing.B) {
 	b.ReportMetric(100*last.Confusion.Accuracy(), "pct_accuracy")
 }
 
+// --- Fleet engine ----------------------------------------------------
+
+// fleetBenchConfig is the shared shape of the fleet benchmarks: 32
+// heterogeneous homes, 2 days each. BenchmarkFleet and its sequential
+// baseline must use identical home configs so homes_per_sec deltas
+// measure the engine, not the workload.
+func fleetBenchConfig() scenario.FleetConfig {
+	return scenario.FleetConfig{Homes: 32, Days: 2, Seed: 1}
+}
+
+// BenchmarkFleet measures multi-tenant throughput end to end: each
+// iteration builds and runs a whole heterogeneous fleet through the
+// sharded manager. homes_per_sec is the fleet engine's headline
+// number, tracked by the CI bench gate; its speedup over
+// BenchmarkFleetSequentialBaseline comes from shard fan-out across
+// the worker pool plus the shared immutable caches (one plan pointer
+// and one radio shadow field per floorplan kind, instead of one per
+// home).
+func BenchmarkFleet(b *testing.B) {
+	cfg := fleetBenchConfig()
+	cfg.Plans = scenario.NewFleetPlans()
+	var last *scenario.FleetOutcome
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := scenario.Fleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(cfg.Homes)*float64(b.N)/secs, "homes_per_sec")
+		b.ReportMetric(float64(last.HomeDays)*float64(b.N)/secs, "home_days_per_sec")
+	}
+	b.ReportMetric(100*last.Confusion.Accuracy(), "pct_accuracy")
+}
+
+// BenchmarkFleetSequentialBaseline is the naive loop the fleet engine
+// replaces: the same homes, one scenario.Run after another, each home
+// paying for its own floorplan and radio field (fresh plans, radio
+// seeded from the home seed). The BenchmarkFleet /
+// BenchmarkFleetSequentialBaseline homes_per_sec ratio is the
+// engine's measured speedup.
+func BenchmarkFleetSequentialBaseline(b *testing.B) {
+	cfg := fleetBenchConfig()
+	var last *scenario.Outcome
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for h := 0; h < cfg.Homes; h++ {
+			hc := scenario.FleetHomeConfig(cfg.Seed, h, cfg.Days, scenario.FleetPlans{})
+			hc.RadioSeed = 0 // per-home radio field, the pre-fleet behaviour
+			out, err := scenario.Run(hc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = out
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(cfg.Homes)*float64(b.N)/secs, "homes_per_sec")
+	}
+	b.ReportMetric(100*last.Confusion.Accuracy(), "pct_accuracy")
+}
+
 // --- Figure 3 --------------------------------------------------------
 
 func BenchmarkFig3SpikeTrace(b *testing.B) {

@@ -36,10 +36,11 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig4|fig6|fig7|fig8|fig9|fig10|corpus|faults|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig4|fig6|fig7|fig8|fig9|fig10|corpus|faults|fleet|all")
 		seed        = flag.Int64("seed", 1, "simulation seed")
 		fault       = flag.String("fault", "all", "fault profile for -exp faults: all|"+strings.Join(faults.ProfileNames(), "|"))
 		days        = flag.Int("days", 7, "days per protection experiment")
+		homes       = flag.Int("homes", 64, "homes for the multi-tenant fleet experiment")
 		invocations = flag.Int("invocations", 134, "invocations for the recognition study")
 		queries     = flag.Int("queries", 100, "invocations per delay study")
 		csvDir      = flag.String("csv", "", "also write figure data as CSV files into this directory")
@@ -58,6 +59,7 @@ func main() {
 		cliutil.OneOf("-exp", *exp, append(append([]string{}, experimentOrder...), "all")...),
 		cliutil.OneOf("-fault", *fault, append([]string{"all"}, faults.ProfileNames()...)...),
 		cliutil.Positive("-days", *days),
+		cliutil.Positive("-homes", *homes),
 		cliutil.Positive("-invocations", *invocations),
 		cliutil.Positive("-queries", *queries),
 	); err != nil {
@@ -80,7 +82,7 @@ func main() {
 		}
 	}
 	csvInto = *csvDir
-	if err := run(*exp, *seed, *days, *invocations, *queries, *fault); err != nil {
+	if err := run(*exp, *seed, *days, *invocations, *queries, *homes, *fault); err != nil {
 		fmt.Fprintln(os.Stderr, "vgbench:", err)
 		os.Exit(1)
 	}
@@ -232,10 +234,10 @@ func writeCSV(name string, write func(w *os.File) error) error {
 var experimentOrder = []string{
 	"table1", "table2", "table3", "table4",
 	"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "corpus",
-	"attacks", "robustness", "sensitivity", "faults", "homeday",
+	"attacks", "robustness", "sensitivity", "faults", "homeday", "fleet",
 }
 
-func run(exp string, seed int64, days, invocations, queries int, fault string) error {
+func run(exp string, seed int64, days, invocations, queries, homes int, fault string) error {
 	experiments := map[string]func() error{
 		"table1": func() error { return table1(invocations, seed) },
 		"table2": func() error {
@@ -258,6 +260,7 @@ func run(exp string, seed int64, days, invocations, queries int, fault string) e
 		"sensitivity": func() error { return sensitivity(days, seed) },
 		"faults":      func() error { return faultStudy(days, seed, fault) },
 		"homeday":     func() error { return homeDayThroughput(days, seed) },
+		"fleet":       func() error { return fleetThroughput(homes, days, seed) },
 	}
 
 	if exp == "all" {
@@ -512,6 +515,32 @@ func homeDayThroughput(days int, seed int64) error {
 	recordMetric("pct_accuracy", 100*last.Confusion.Accuracy())
 	fmt.Printf("== home-day throughput ==\n%d runs x %d days in %v: %.1f home-days/sec (accuracy %.1f%%)\n",
 		iterations, days, elapsed.Round(time.Millisecond), perSec, 100*last.Confusion.Accuracy())
+	return nil
+}
+
+// fleetThroughput runs the multi-tenant fleet engine — N heterogeneous
+// homes as tenants of one sharded manager — and reports homes/sec.
+// After the timed window, a deterministic sample of homes is re-run
+// through plain sequential scenario.Run and compared deep-equal: the
+// bit-identity spot check behind pct_verified_identical (a mismatch
+// fails the experiment, and therefore the bench gate, loudly).
+func fleetThroughput(homes, days int, seed int64) error {
+	cfg := scenario.FleetConfig{Homes: homes, Days: days, Seed: seed}
+	start := time.Now()
+	out, err := scenario.Fleet(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	const verifySample = 2
+	if err := scenario.FleetVerify(out, verifySample); err != nil {
+		return err
+	}
+	recordMetric("homes_per_sec", float64(homes)/elapsed.Seconds())
+	recordMetric("home_days_per_sec", float64(out.HomeDays)/elapsed.Seconds())
+	recordMetric("pct_accuracy", 100*out.Confusion.Accuracy())
+	recordMetric("pct_verified_identical", 100)
+	fmt.Print(report.FleetTable(out, elapsed))
 	return nil
 }
 

@@ -12,11 +12,11 @@ func TestRunEveryExperiment(t *testing.T) {
 	for _, exp := range []string{
 		"table1", "table2", "table3", "table4",
 		"fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"corpus", "attacks", "robustness", "sensitivity", "faults", "homeday",
+		"corpus", "attacks", "robustness", "sensitivity", "faults", "homeday", "fleet",
 	} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 1 /* seed */, 1 /* day */, 30 /* invocations */, 15 /* queries */, "drop20" /* fault */); err != nil {
+			if err := run(exp, 1 /* seed */, 1 /* day */, 30 /* invocations */, 15 /* queries */, 6 /* homes */, "drop20" /* fault */); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -28,13 +28,13 @@ func TestRunFig4(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-socket holds")
 	}
-	if err := run("fig4", 1, 1, 10, 5, "all"); err != nil {
+	if err := run("fig4", 1, 1, 10, 5, 6, "all"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", 1, 1, 10, 5, "all"); err == nil {
+	if err := run("fig99", 1, 1, 10, 5, 6, "all"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -43,7 +43,7 @@ func TestRunWithCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	csvInto = dir
 	defer func() { csvInto = "" }()
-	if err := run("fig10", 1, 1, 10, 5, "all"); err != nil {
+	if err := run("fig10", 1, 1, 10, 5, 6, "all"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig10_case*.csv"))

@@ -4,6 +4,12 @@
 // status, and the recent anomaly tail (dropped commands pulled from
 // the flight recorder).
 //
+// Snapshots carrying two or more labeled homes — a multi-tenant fleet
+// process — additionally render a fleet-aggregate section ranking the
+// worst homes first by decision p99 (degraded verdicts breaking
+// ties), so a thousand-tenant frame leads with the tenants that need
+// attention instead of interleaving every home's series.
+//
 // It polls the debug endpoint a guard exposes with -metrics-addr
 // (vgproxy), or renders a single frame from a saved snapshot file
 // (vgbench -metrics-out).

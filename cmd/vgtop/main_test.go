@@ -19,6 +19,7 @@ import (
 const (
 	topTestLatency  = "decision_latency_seconds"
 	topTestVerdicts = "guard_verdicts"
+	topTestDegraded = "guard_degraded_verdicts"
 	topTestQueue    = "proxy_hold_queue_bytes"
 )
 
@@ -124,6 +125,66 @@ func TestRunSnapshotFile(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `decision_latency_seconds{home="h1",profile="none"}`) {
 		t.Fatalf("offline frame missing labeled series:\n%s", buf.String())
+	}
+}
+
+// fleetFixtureRegistry builds a fleet-scale snapshot: 12 homes with
+// distinct latency profiles, one of them degraded and slow.
+func fleetFixtureRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	lat := reg.HistogramVec(topTestLatency)
+	verdicts := reg.CounterVec(topTestVerdicts)
+	for i := 0; i < 12; i++ {
+		home := metrics.Labels{Home: homeID(i)}
+		h := lat.With(home)
+		for j := 0; j < 30; j++ {
+			h.Observe(time.Duration(2+i) * time.Millisecond)
+		}
+		allow := home
+		allow.Verdict = "allow"
+		verdicts.With(allow).Add(20)
+	}
+	// home-11 is the outlier: slow tail and degraded verdicts.
+	lat.With(metrics.Labels{Home: homeID(11)}).ObserveN(2*time.Second, 40)
+	reg.CounterVec(topTestDegraded).With(metrics.Labels{Home: homeID(11)}).Add(5)
+	return reg
+}
+
+func homeID(i int) string { return "home-" + string(rune('a'+i)) }
+
+// TestRunSnapshotFleetFrame renders a multi-home snapshot and expects
+// the fleet-aggregate section, worst home first — the fleet view that
+// replaced vgtop's single-home assumption.
+func TestRunSnapshotFleetFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteJSON(f, fleetFixtureRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(config{snapshot: path, topK: 5}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	idx := strings.Index(out, "== fleet (12 homes, worst first) ==")
+	if idx < 0 {
+		t.Fatalf("fleet frame missing the fleet section:\n%s", out)
+	}
+	// The degraded outlier leads the ranking.
+	section := out[idx:]
+	first := strings.SplitN(section, "\n", 4)
+	if len(first) < 3 || !strings.Contains(first[2], homeID(11)) {
+		t.Fatalf("worst home not ranked first:\n%s", section)
+	}
+	if !strings.Contains(first[2], "5") {
+		t.Fatalf("degraded count missing from the worst home's row:\n%s", first[2])
 	}
 }
 

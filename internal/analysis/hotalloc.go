@@ -38,6 +38,9 @@ var hotFuncs = map[string]map[string]bool{
 		"matchesCommandFallback": true, "hasWithin": true, "hasAdjacent": true,
 		"Feed": true, "feedEcho": true, "feedGHM": true, "tryDecide": true,
 	},
+	"voiceguard/internal/fleet": {
+		"shardFor": true, "step": true, "runRound": true,
+	},
 }
 
 // HotAlloc flags the easy-to-miss allocation sources inside the

@@ -1,0 +1,252 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"voiceguard/internal/metrics"
+	"voiceguard/internal/parallel"
+)
+
+// stubHome records the day sequence it was driven through. The fleet
+// contract says exactly one goroutine drives a home at a time, so the
+// slice needs no lock; the race detector verifies the contract.
+type stubHome struct {
+	days int
+	ran  []int
+}
+
+func (s *stubHome) Days() int       { return s.days }
+func (s *stubHome) RunDay(day int)  { s.ran = append(s.ran, day) }
+func (s *stubHome) sequence() []int { return s.ran }
+
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := parallel.SetWorkers(n)
+	defer parallel.SetWorkers(prev)
+	fn()
+}
+
+func newTestManager(shards int) *Manager {
+	return NewWithRegistry(shards, metrics.NewRegistry())
+}
+
+func TestNewTenantValidates(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty id": func() { NewTenant("", &stubHome{days: 1}) },
+		"nil home": func() { NewTenant("x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTenant with %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegisterSemantics(t *testing.T) {
+	m := newTestManager(4)
+	tn := NewTenant("a", &stubHome{days: 3})
+	if err := m.Register(tn); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := m.Register(NewTenant("a", &stubHome{days: 1})); err == nil {
+		t.Fatal("duplicate Register succeeded")
+	}
+	if err := m.Register(nil); err == nil {
+		t.Fatal("nil Register succeeded")
+	}
+	if got := m.Get("a"); got != tn {
+		t.Fatalf("Get = %v, want the registered tenant", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if !m.Unregister("a") {
+		t.Fatal("Unregister known id = false")
+	}
+	if m.Unregister("a") {
+		t.Fatal("Unregister unknown id = true")
+	}
+	if m.Get("a") != nil || m.Len() != 0 {
+		t.Fatal("tenant still visible after Unregister")
+	}
+}
+
+// TestRunAllLockstep verifies every tenant runs every day exactly
+// once, in order, and that rounds advance the fleet one day at a time.
+func TestRunAllLockstep(t *testing.T) {
+	m := newTestManager(8)
+	stubs := make([]*stubHome, 20)
+	for i := range stubs {
+		stubs[i] = &stubHome{days: 3}
+		if err := m.Register(NewTenant(fmt.Sprintf("home-%d", i), stubs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.RunRound(); n != 20 {
+		t.Fatalf("round 1 steps = %d, want 20", n)
+	}
+	for i, s := range stubs {
+		if len(s.sequence()) != 1 {
+			t.Fatalf("stub %d ran %v after one round, want exactly day 0", i, s.sequence())
+		}
+	}
+	m.RunAll()
+	for i, s := range stubs {
+		got := s.sequence()
+		if len(got) != 3 {
+			t.Fatalf("stub %d ran %d days, want 3", i, len(got))
+		}
+		for d, day := range got {
+			if day != d {
+				t.Fatalf("stub %d day sequence %v out of order", i, got)
+			}
+		}
+	}
+	if n := m.RunRound(); n != 0 {
+		t.Fatalf("drained fleet still made %d steps", n)
+	}
+}
+
+// TestShardAndWorkerCountInvariance drives identical tenant sets
+// through every (shards, workers) combination and requires the same
+// day sequences — scheduling layout must be unobservable.
+func TestShardAndWorkerCountInvariance(t *testing.T) {
+	run := func(shards, workers int) [][]int {
+		var seqs [][]int
+		withWorkers(t, workers, func() {
+			m := newTestManager(shards)
+			stubs := make([]*stubHome, 33)
+			for i := range stubs {
+				stubs[i] = &stubHome{days: 2 + i%3}
+				if err := m.Register(NewTenant(fmt.Sprintf("home-%04d", i), stubs[i])); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.RunAll()
+			for _, s := range stubs {
+				seqs = append(seqs, s.sequence())
+			}
+		})
+		return seqs
+	}
+	want := run(1, 1)
+	for _, c := range []struct{ shards, workers int }{{1, 8}, {16, 1}, {16, 8}, {5, 3}} {
+		got := run(c.shards, c.workers)
+		for i := range want {
+			if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+				t.Fatalf("shards=%d workers=%d: stub %d ran %v, want %v",
+					c.shards, c.workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRegisterMidRun registers a tenant while the fleet is mid-run
+// (deterministically, between rounds) and expects it to join and
+// complete.
+func TestRegisterMidRun(t *testing.T) {
+	m := newTestManager(4)
+	early := &stubHome{days: 4}
+	if err := m.Register(NewTenant("early", early)); err != nil {
+		t.Fatal(err)
+	}
+	m.RunRound()
+	m.RunRound()
+	late := &stubHome{days: 2}
+	if err := m.Register(NewTenant("late", late)); err != nil {
+		t.Fatal(err)
+	}
+	m.RunAll()
+	if len(early.sequence()) != 4 {
+		t.Fatalf("early ran %v, want 4 days", early.sequence())
+	}
+	if len(late.sequence()) != 2 {
+		t.Fatalf("late ran %v, want 2 days", late.sequence())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewWithRegistry(2, reg)
+	for i := 0; i < 3; i++ {
+		if err := m.Register(NewTenant(fmt.Sprintf("h%d", i), &stubHome{days: 2})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RunAll()
+	m.Unregister("h0")
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		MetricTenants:      2,
+		MetricHomeDays:     6,
+		MetricRegistered:   3,
+		MetricUnregistered: 1,
+		MetricRounds:       2,
+	}
+	got := map[string]int64{}
+	for _, c := range snap.Counters {
+		got[c.Name] = c.Value
+	}
+	for _, g := range snap.Gauges {
+		got[g.Name] = g.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+}
+
+// TestConcurrentChurn exercises Register/Unregister/Get/Len/Tenants
+// concurrently with a running fleet — the go test -race gate for
+// mid-run tenant registration and teardown.
+func TestConcurrentChurn(t *testing.T) {
+	withWorkers(t, 4, func() {
+		m := newTestManager(8)
+		for i := 0; i < 16; i++ {
+			if err := m.Register(NewTenant(fmt.Sprintf("base-%d", i), &stubHome{days: 6})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("churn-%d", i)
+				if err := m.Register(NewTenant(id, &stubHome{days: 1})); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					m.Unregister(id)
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Len()
+				m.Get("base-3")
+				for _, tn := range m.Tenants() {
+					_ = tn.DaysRun()
+				}
+			}
+		}()
+		m.RunAll()
+		wg.Wait()
+		// Tenants registered after the final round still need draining.
+		m.RunAll()
+		for _, tn := range m.Tenants() {
+			if !tn.Done() {
+				t.Errorf("tenant %s finished %d/%d days", tn.ID(), tn.DaysRun(), tn.Days())
+			}
+		}
+	})
+}

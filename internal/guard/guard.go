@@ -43,6 +43,9 @@ const (
 	// MetricHoldLatency is the per-label hold-duration distribution,
 	// with per-bucket command-ID exemplars.
 	MetricHoldLatency = "guard_hold_latency_seconds"
+	// MetricDegraded counts degraded-policy verdicts per label set, so
+	// fleet views can rank homes by how often their push path died.
+	MetricDegraded = "guard_degraded_verdicts"
 )
 
 // Verdict label values of the MetricVerdicts family.
@@ -67,6 +70,7 @@ var (
 	mUnknownSpeaker = metrics.NewCounter(metricUnknownSpeaker)
 	mVerdictsVec    = metrics.NewCounterVec(MetricVerdicts)
 	mHoldVec        = metrics.NewHistogramVec(MetricHoldLatency)
+	mDegradedVec    = metrics.NewCounterVec(MetricDegraded)
 )
 
 // DegradedPolicy decides what happens to held traffic when the
@@ -171,10 +175,11 @@ type Guard struct {
 	// labels and the lv* handles are the guard's dimensional metric
 	// identity: SetLabels resolves the labeled children once, so the
 	// per-event path updates cached handles instead of re-interning.
-	labels  metrics.Labels
-	lvHold  *metrics.Histogram
-	lvAllow *metrics.Counter
-	lvBlock *metrics.Counter
+	labels     metrics.Labels
+	lvHold     *metrics.Histogram
+	lvAllow    *metrics.Counter
+	lvBlock    *metrics.Counter
+	lvDegraded *metrics.Counter
 
 	cur       *episode   // spike currently accumulating packets
 	inflight  *episode   // episode whose decision query is running
@@ -215,6 +220,7 @@ func (g *Guard) SetLabels(l metrics.Labels) {
 	block := l
 	block.Verdict = VerdictBlock
 	g.lvBlock = mVerdictsVec.With(block)
+	g.lvDegraded = mDegradedVec.With(l)
 }
 
 // Labels returns the guard's metric label set.
@@ -385,6 +391,7 @@ func (g *Guard) startQuery(ep *episode) {
 				// so the configured degraded policy decides instead.
 				released = g.Degraded == DegradedFailOpen
 				mDegraded.Inc()
+				g.lvDegraded.Inc()
 				g.tracer().Record(trace.Event(ep.id, trace.StageGuard, "degraded_verdict", r.At,
 					trace.String("policy", g.Degraded.String()),
 					trace.Bool("released", released),

@@ -102,6 +102,11 @@ func (cv *CounterVec) Name() string { return cv.v.name }
 // and update through the returned handle.
 func (cv *CounterVec) With(l Labels) *Counter { return cv.v.with(l) }
 
+// Children returns the family's interned children keyed by label set.
+// The map is the family's immutable current version: callers may read
+// it freely but must not mutate it.
+func (cv *CounterVec) Children() map[Labels]*Counter { return cv.v.snapshot() }
+
 // SetMaxCardinality overrides the family's label-set bound.
 func (cv *CounterVec) SetMaxCardinality(n int) { cv.v.setMaxCardinality(n) }
 
@@ -116,6 +121,10 @@ func (gv *GaugeVec) Name() string { return gv.v.name }
 // With returns the gauge for the given label set, interning the set
 // on first use.
 func (gv *GaugeVec) With(l Labels) *Gauge { return gv.v.with(l) }
+
+// Children returns the family's interned children keyed by label set
+// (read-only, see CounterVec.Children).
+func (gv *GaugeVec) Children() map[Labels]*Gauge { return gv.v.snapshot() }
 
 // SetMaxCardinality overrides the family's label-set bound.
 func (gv *GaugeVec) SetMaxCardinality(n int) { gv.v.setMaxCardinality(n) }
@@ -132,6 +141,10 @@ func (hv *HistogramVec) Name() string { return hv.v.name }
 // With returns the histogram for the given label set, interning the
 // set on first use.
 func (hv *HistogramVec) With(l Labels) *Histogram { return hv.v.with(l) }
+
+// Children returns the family's interned children keyed by label set
+// (read-only, see CounterVec.Children).
+func (hv *HistogramVec) Children() map[Labels]*Histogram { return hv.v.snapshot() }
 
 // SetMaxCardinality overrides the family's label-set bound.
 func (hv *HistogramVec) SetMaxCardinality(n int) { hv.v.setMaxCardinality(n) }

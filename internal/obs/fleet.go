@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"voiceguard/internal/decision"
+	"voiceguard/internal/guard"
+	"voiceguard/internal/metrics"
+)
+
+// FleetRow is one home's aggregate slice of a metrics snapshot: the
+// per-tenant numbers the fleet view ranks homes by.
+type FleetRow struct {
+	Home        string
+	Commands    uint64 // decision-latency observations (adjudicated commands)
+	DecisionP99 time.Duration
+	Verdicts    int64 // allow + block verdicts
+	Blocked     int64
+	Degraded    int64 // degraded-policy verdicts
+}
+
+// FleetSummary groups a snapshot's labeled families by home: decision
+// latency histograms (merged across profiles/speakers per home, so a
+// home's p99 covers all of its series), guard verdict counters, and
+// degraded-verdict counters. Homes appear when any family carries
+// their label; the overflow bucket's synthetic home appears like any
+// other, so a fleet past the cardinality bound is visibly collapsed
+// rather than silently truncated. Rows come back sorted by decision
+// p99 descending, degraded count breaking ties — the "worst homes
+// first" order the fleet view renders.
+func FleetSummary(s metrics.Snapshot) []FleetRow {
+	type agg struct {
+		buckets []uint64
+		count   uint64
+		row     FleetRow
+	}
+	byHome := map[string]*agg{}
+	home := func(l *metrics.Labels) (*agg, bool) {
+		if l == nil || l.Home == "" {
+			return nil, false
+		}
+		a, ok := byHome[l.Home]
+		if !ok {
+			a = &agg{row: FleetRow{Home: l.Home}}
+			byHome[l.Home] = a
+		}
+		return a, true
+	}
+	for _, h := range s.Histograms {
+		if h.Name != decision.MetricLatency {
+			continue
+		}
+		a, ok := home(h.Labels)
+		if !ok {
+			continue
+		}
+		a.count += h.Count
+		if a.buckets == nil {
+			a.buckets = make([]uint64, len(h.Buckets))
+		}
+		for i, c := range h.Buckets {
+			if i < len(a.buckets) {
+				a.buckets[i] += c
+			}
+		}
+	}
+	for _, c := range s.Counters {
+		switch c.Name {
+		case guard.MetricVerdicts:
+			a, ok := home(c.Labels)
+			if !ok {
+				continue
+			}
+			a.row.Verdicts += c.Value
+			if c.Labels.Verdict == guard.VerdictBlock {
+				a.row.Blocked += c.Value
+			}
+		case guard.MetricDegraded:
+			if a, ok := home(c.Labels); ok {
+				a.row.Degraded += c.Value
+			}
+		}
+	}
+	rows := make([]FleetRow, 0, len(byHome))
+	for _, a := range byHome {
+		a.row.Commands = a.count
+		merged := metrics.HistogramSnapshot{Count: a.count, Buckets: a.buckets}
+		a.row.DecisionP99 = merged.Quantile(0.99)
+		rows = append(rows, a.row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].DecisionP99 != rows[j].DecisionP99 {
+			return rows[i].DecisionP99 > rows[j].DecisionP99
+		}
+		if rows[i].Degraded != rows[j].Degraded {
+			return rows[i].Degraded > rows[j].Degraded
+		}
+		return rows[i].Home < rows[j].Home
+	})
+	return rows
+}
+
+// writeFleet renders the fleet-aggregate section: total home count
+// and the top-k homes by decision p99 / degraded verdicts. It prints
+// nothing for single-home (or unlabeled) snapshots, where the flat
+// sections already tell the whole story.
+func writeFleet(w io.Writer, rows []FleetRow, k int) error {
+	if len(rows) < 2 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "\n== fleet (%d homes, worst first) ==\n", len(rows)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %8s %12s %9s %8s %9s\n",
+		"home", "commands", "decision_p99", "verdicts", "blocked", "degraded"); err != nil {
+		return err
+	}
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-16s %8d %12s %9d %8d %9d\n",
+			r.Home, r.Commands, r.DecisionP99, r.Verdicts, r.Blocked, r.Degraded); err != nil {
+			return err
+		}
+	}
+	return nil
+}

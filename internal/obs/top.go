@@ -90,6 +90,13 @@ func WriteTop(w io.Writer, v TopView) error {
 		}
 	}
 
+	// Fleet-aggregate view: with two or more labeled homes in the
+	// snapshot the per-family tables below would interleave every
+	// tenant's series, so rank homes first.
+	if err := writeFleet(w, FleetSummary(s), k); err != nil {
+		return err
+	}
+
 	type row struct {
 		name  string
 		value int64

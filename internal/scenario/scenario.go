@@ -111,13 +111,35 @@ type Config struct {
 	// it.
 	Degraded guard.DegradedPolicy
 
+	// Start is the simulated epoch the home's clock begins at (zero
+	// uses DefaultStart). Fleet runs stagger tenant starts with
+	// per-home offsets derived from the fleet seed, so thousands of
+	// homes do not issue their day's commands in lockstep.
+	Start time.Time
+
+	// RadioSeed, when non-zero, seeds the propagation model
+	// independently of Seed. Fleet runs give every home of the same
+	// floorplan one shared radio seed, so the process-global
+	// shadow-field memo is warmed once per testbed instead of once per
+	// home (N homes, one cache). Zero keeps the historical behaviour:
+	// the radio model is seeded from Seed.
+	RadioSeed int64
+
 	Seed int64
 }
+
+// DefaultStart is the simulated epoch experiments begin at when
+// Config.Start is zero — the Monday the paper's 7-day protocol
+// starts on.
+var DefaultStart = time.Date(2023, 3, 6, 0, 0, 0, 0, time.UTC)
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
 	if c.Days == 0 {
 		c.Days = 7
+	}
+	if c.Start.IsZero() {
+		c.Start = DefaultStart
 	}
 	if c.LegitPerDay == 0 {
 		c.LegitPerDay = 13
@@ -210,14 +232,11 @@ type run struct {
 // the simulated clock jumps straight from event to event (see
 // events.go).
 func Run(cfg Config) (*Outcome, error) {
-	r, err := newRun(cfg)
+	h, err := NewHome(cfg)
 	if err != nil {
 		return nil, err
 	}
-	for day := 0; day < r.cfg.Days; day++ {
-		r.runDay(day)
-	}
-	return r.outcome, nil
+	return h.RunRemaining(), nil
 }
 
 // RunReference executes the experiment with the retained pre-scheduler
@@ -253,7 +272,7 @@ func newRun(cfg Config) (*run, error) {
 
 	r := &run{
 		cfg:   cfg,
-		clock: simtime.NewSim(time.Date(2023, 3, 6, 0, 0, 0, 0, time.UTC)),
+		clock: simtime.NewSim(cfg.Start),
 		root:  rng.New(cfg.Seed),
 		spot:  spot,
 		adv:   ble.NewAdvertiser(spot.Pos),
@@ -266,7 +285,11 @@ func newRun(cfg Config) (*run, error) {
 	if cfg.RadioParams != nil {
 		params = *cfg.RadioParams
 	}
-	r.model = radio.NewModel(cfg.Plan, params, cfg.Seed)
+	radioSeed := cfg.Seed
+	if cfg.RadioSeed != 0 {
+		radioSeed = cfg.RadioSeed
+	}
+	r.model = radio.NewModel(cfg.Plan, params, radioSeed)
 	r.cmdLocs = cfg.Plan.CommandLocations(spot)
 	r.dwellLocs = cfg.Plan.DwellLocations()
 	dwell := make(map[int]bool, len(r.dwellLocs))
