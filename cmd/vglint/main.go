@@ -1,16 +1,18 @@
 // Command vglint runs the project's invariant analyzers (see
 // internal/analysis) over the module: rngshare, simclock, hotalloc,
-// and tracectx. It loads and type-checks the module with the standard
-// library only, prints file:line:col findings (or machine-readable
-// JSON with -json), and exits non-zero when any finding survives its
-// //vglint:allow directives.
+// tracectx, metriclabel, maporder, lockheld, and goroleak. It loads
+// and type-checks the module with the standard library only, fans the
+// per-package analysis across the internal/parallel pool, prints
+// file:line:col findings (or machine-readable JSON with -json), and
+// exits non-zero when any finding survives its //vglint:allow
+// directives.
 //
 // Usage:
 //
 //	vglint ./...                 # whole module
 //	vglint ./internal/radio      # one package
 //	vglint -rules simclock ./... # a single rule
-//	vglint -json ./...           # findings as JSON for CI annotations
+//	vglint -json ./...           # findings + summary as JSON for CI
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or load error.
 package main
@@ -19,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,84 +30,94 @@ import (
 )
 
 func main() {
-	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array (file, line, col, rule, message)")
-		rules   = flag.String("rules", "", "comma-separated rule subset to run (default: all)")
-		list    = flag.Bool("list", false, "list the available rules and exit")
-	)
-	flag.Parse()
-
-	if *list {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-
-	analyzers, err := selectRules(*rules)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vglint:", err)
-		flag.Usage()
-		os.Exit(2)
-	}
-
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vglint:", err)
 		os.Exit(2)
 	}
+	os.Exit(run(os.Args[1:], cwd, os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored for tests: parse args, load the
+// module rooted at (or above) cwd, analyze the matching packages, and
+// render. Returns the exit code.
+func run(args []string, cwd string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings and a per-rule summary as JSON")
+		rules   = fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+		list    = fs.Bool("list", false, "list the available rules and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectRules(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "vglint:", err)
+		fs.Usage()
+		return 2
+	}
+
 	root, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vglint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vglint:", err)
+		return 2
 	}
 	mod, err := analysis.LoadModule(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vglint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vglint:", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	var findings []analysis.Diagnostic
-	matched := false
+	var pkgs []*analysis.Package
 	for _, pkg := range mod.Packages() {
 		ok, err := matchAny(mod, cwd, pkg, patterns)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vglint:", err)
-			flag.Usage()
-			os.Exit(2)
+			fmt.Fprintln(stderr, "vglint:", err)
+			return 2
 		}
-		if !ok {
-			continue
+		if ok {
+			pkgs = append(pkgs, pkg)
 		}
-		matched = true
-		findings = append(findings, analysis.RunPackage(pkg, analyzers)...)
 	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "vglint: no packages match %v\n", patterns)
-		os.Exit(2)
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "vglint: no packages match %v\n", patterns)
+		return 2
 	}
 
+	findings, summary := analysis.RunModule(mod, pkgs, analyzers)
+
 	if *jsonOut {
-		if err := writeJSON(os.Stdout, root, findings); err != nil {
-			fmt.Fprintln(os.Stderr, "vglint:", err)
-			os.Exit(2)
+		if err := writeJSON(stdout, root, findings, summary); err != nil {
+			fmt.Fprintln(stderr, "vglint:", err)
+			return 2
 		}
 	} else {
 		for _, d := range findings {
-			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 		}
 		if len(findings) > 0 {
-			fmt.Fprintf(os.Stderr, "vglint: %d finding(s)\n", len(findings))
+			fmt.Fprintf(stderr, "vglint: %d finding(s)\n", len(findings))
 		}
 	}
 	if len(findings) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // selectRules resolves the -rules flag against the registry.
@@ -187,10 +200,17 @@ type jsonFinding struct {
 	Message string `json:"message"`
 }
 
-func writeJSON(w *os.File, root string, findings []analysis.Diagnostic) error {
-	out := make([]jsonFinding, 0, len(findings))
+// jsonReport is the -json document: the findings plus the scan
+// summary (packages scanned, per-rule finding/suppression counts).
+type jsonReport struct {
+	Findings []jsonFinding    `json:"findings"`
+	Summary  analysis.Summary `json:"summary"`
+}
+
+func writeJSON(w io.Writer, root string, findings []analysis.Diagnostic, summary analysis.Summary) error {
+	out := jsonReport{Findings: make([]jsonFinding, 0, len(findings)), Summary: summary}
 	for _, d := range findings {
-		out = append(out, jsonFinding{
+		out.Findings = append(out.Findings, jsonFinding{
 			File:    relPath(root, d.Pos.Filename),
 			Line:    d.Pos.Line,
 			Col:     d.Pos.Column,

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scratchModule writes a throwaway module named voiceguard with one
+// package, internal/obs, whose source is given, and returns its root.
+func scratchModule(t *testing.T, src string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module voiceguard\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "obs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "obs.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+const violatingSrc = `package obs
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+const suppressedSrc = `package obs
+
+// Keys carries a deliberate, explained escape.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//vglint:allow maporder scratch fixture: order is documented as unspecified
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+// TestExitCodes drives the command end to end through run(): 0 for a
+// clean tree, 1 for surviving findings, 2 for usage and pattern
+// errors.
+func TestExitCodes(t *testing.T) {
+	moduleCwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	violating := scratchModule(t, violatingSrc)
+	suppressed := scratchModule(t, suppressedSrc)
+
+	cases := []struct {
+		name     string
+		args     []string
+		cwd      string
+		exit     int
+		inStdout string
+		inStderr string
+	}{
+		{
+			name: "clean package exits 0",
+			args: []string{"voiceguard/internal/simtime"},
+			cwd:  moduleCwd,
+			exit: 0,
+		},
+		{
+			name:     "violation exits 1",
+			args:     []string{"./..."},
+			cwd:      violating,
+			exit:     1,
+			inStdout: "maporder",
+			inStderr: "1 finding(s)",
+		},
+		{
+			name: "suppressed violation exits 0",
+			args: []string{"./..."},
+			cwd:  suppressed,
+			exit: 0,
+		},
+		{
+			name:     "unknown rule exits 2",
+			args:     []string{"-rules", "nosuchrule", "./..."},
+			cwd:      moduleCwd,
+			exit:     2,
+			inStderr: `unknown rule "nosuchrule"`,
+		},
+		{
+			name:     "no matching packages exits 2",
+			args:     []string{"voiceguard/internal/nosuchpkg"},
+			cwd:      moduleCwd,
+			exit:     2,
+			inStderr: "no packages match",
+		},
+		{
+			name:     "bad flag exits 2",
+			args:     []string{"-nosuchflag"},
+			cwd:      moduleCwd,
+			exit:     2,
+			inStderr: "flag provided but not defined",
+		},
+		{
+			name:     "list exits 0 and names the rules",
+			args:     []string{"-list"},
+			cwd:      moduleCwd,
+			exit:     0,
+			inStdout: "maporder",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, tc.cwd, &stdout, &stderr)
+			if got != tc.exit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", got, tc.exit, stdout.String(), stderr.String())
+			}
+			if tc.inStdout != "" && !strings.Contains(stdout.String(), tc.inStdout) {
+				t.Errorf("stdout missing %q:\n%s", tc.inStdout, stdout.String())
+			}
+			if tc.inStderr != "" && !strings.Contains(stderr.String(), tc.inStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.inStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestJSONReport pins the -json document shape: a findings array plus
+// the per-rule summary block with finding and suppression counts.
+func TestJSONReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", "./..."}, scratchModule(t, violatingSrc), &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", got, stderr.String())
+	}
+	var report struct {
+		Findings []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Rule string `json:"rule"`
+		} `json:"findings"`
+		Summary struct {
+			Packages int `json:"packages_scanned"`
+			Rules    map[string]struct {
+				Findings   int `json:"findings"`
+				Suppressed int `json:"suppressed"`
+			} `json:"rules"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if len(report.Findings) != 1 || report.Findings[0].Rule != "maporder" {
+		t.Fatalf("findings = %+v, want one maporder finding", report.Findings)
+	}
+	if report.Findings[0].File != "internal/obs/obs.go" {
+		t.Errorf("finding file = %q, want module-relative internal/obs/obs.go", report.Findings[0].File)
+	}
+	if report.Summary.Packages != 1 {
+		t.Errorf("packages_scanned = %d, want 1", report.Summary.Packages)
+	}
+	if rs := report.Summary.Rules["maporder"]; rs.Findings != 1 || rs.Suppressed != 0 {
+		t.Errorf("maporder stats = %+v, want {1 0}", rs)
+	}
+	if _, ok := report.Summary.Rules["lockheld"]; !ok {
+		t.Error("summary is missing zero-count rules; every enabled rule must report")
+	}
+
+	// The suppressed variant flips the counters: no findings, one
+	// suppression, exit 0.
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-json", "./..."}, scratchModule(t, suppressedSrc), &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", got, stderr.String())
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if len(report.Findings) != 0 {
+		t.Fatalf("findings = %+v, want none", report.Findings)
+	}
+	if rs := report.Summary.Rules["maporder"]; rs.Findings != 0 || rs.Suppressed != 1 {
+		t.Errorf("maporder stats = %+v, want {0 1}", rs)
+	}
+}

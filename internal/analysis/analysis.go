@@ -25,6 +25,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"voiceguard/internal/parallel"
 )
 
 // Diagnostic is one rule finding at a source position.
@@ -60,6 +62,10 @@ type Pass struct {
 	// masquerade as a gated package.
 	PkgPath string
 
+	// Graph is the module-wide call graph (extended with the package
+	// itself for fixture packages), for interprocedural rules.
+	Graph *CallGraph
+
 	diags *[]Diagnostic
 }
 
@@ -74,7 +80,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full vglint rule set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{RNGShare, SimClock, HotAlloc, TraceCtx, MetricLabel}
+	return []*Analyzer{RNGShare, SimClock, HotAlloc, TraceCtx, MetricLabel, MapOrder, LockHeld, GoroLeak}
 }
 
 // ByName returns the analyzer with the given rule name.
@@ -87,12 +93,36 @@ func ByName(name string) (*Analyzer, bool) {
 	return nil, false
 }
 
+// RuleStats counts one rule's outcomes over a scan: findings that
+// survived suppression, and findings silenced by a //vglint:allow
+// directive.
+type RuleStats struct {
+	Findings   int `json:"findings"`
+	Suppressed int `json:"suppressed"`
+}
+
+// Summary aggregates a scan: packages analyzed and per-rule outcome
+// counts. Directive problems (rule "vglint") appear like any other
+// rule's findings.
+type Summary struct {
+	Packages int                  `json:"packages_scanned"`
+	Rules    map[string]RuleStats `json:"rules"`
+}
+
 // RunPackage runs the analyzers over one loaded package and returns
 // the surviving diagnostics: findings not covered by a well-formed
 // //vglint:allow directive, plus one diagnostic per malformed or
 // unused directive. Results are ordered by file, then position.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunPackageStats(pkg, analyzers)
+	return diags
+}
+
+// RunPackageStats is RunPackage plus per-rule finding/suppression
+// counts for the scan summary.
+func RunPackageStats(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, map[string]RuleStats) {
 	var raw []Diagnostic
+	graph := graphFor(pkg)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -101,11 +131,12 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			PkgPath:  pkg.Path,
+			Graph:    graph,
 			diags:    &raw,
 		}
 		a.Run(pass)
 	}
-	out := applySuppressions(pkg, analyzers, raw)
+	out, suppressed := applySuppressions(pkg, analyzers, raw)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -119,5 +150,51 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
+	stats := make(map[string]RuleStats, len(analyzers))
+	for _, a := range analyzers {
+		stats[a.Name] = RuleStats{}
+	}
+	for _, d := range out {
+		s := stats[d.Rule]
+		s.Findings++
+		stats[d.Rule] = s
+	}
+	for rule, n := range suppressed {
+		s := stats[rule]
+		s.Suppressed += n
+		stats[rule] = s
+	}
+	return out, stats
+}
+
+// RunModule runs the analyzers over the given packages, fanning the
+// per-package work across the internal/parallel pool. Output is
+// deterministic regardless of worker count: packages are analyzed
+// against the one shared call graph (built serially up front) and
+// results are flattened in the caller's package order.
+func RunModule(mod *Module, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, Summary) {
+	mod.Graph() // build once, serially, before the fan-out
+	type result struct {
+		diags []Diagnostic
+		stats map[string]RuleStats
+	}
+	results := parallel.Map(len(pkgs), func(i int) result {
+		diags, stats := RunPackageStats(pkgs[i], analyzers)
+		return result{diags: diags, stats: stats}
+	})
+	summary := Summary{Packages: len(pkgs), Rules: make(map[string]RuleStats)}
+	for _, a := range analyzers {
+		summary.Rules[a.Name] = RuleStats{}
+	}
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r.diags...)
+		for rule, s := range r.stats {
+			agg := summary.Rules[rule]
+			agg.Findings += s.Findings
+			agg.Suppressed += s.Suppressed
+			summary.Rules[rule] = agg
+		}
+	}
+	return diags, summary
 }

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the light dataflow helper behind maporder: given a
+// `range` over a map, decide whether the iteration order can escape
+// into something observable — a slice that keeps its element order,
+// an RNG stream whose draw order is part of the seeded contract, a
+// metric registration whose order fixes series identity, a channel,
+// or a floating-point accumulator (float addition does not commute
+// under rounding). The analysis is deliberately shallow and
+// syntactic-plus-types: it under-approximates escape routes rather
+// than modeling aliasing, and the //vglint:allow directive covers the
+// sites it cannot see through.
+
+// orderSink describes one way iteration order escapes a map range.
+type orderSink struct {
+	pos  token.Pos
+	what string
+}
+
+// findOrderSink scans one map-range body (fd is the enclosing
+// declaration, used to look for post-loop sorts) and returns the
+// first escape route found, or nil if the body is order-insensitive.
+func findOrderSink(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) *orderSink {
+	var sink *orderSink
+	found := func(pos token.Pos, what string) {
+		if sink == nil {
+			sink = &orderSink{pos: pos, what: what}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found(n.Pos(), "the body sends on a channel, so receive order follows iteration order")
+		case *ast.AssignStmt:
+			if s := assignSink(pass, fd, rs, n); s != nil {
+				found(s.pos, s.what)
+			}
+		case *ast.CallExpr:
+			if s := callSink(pass, n); s != nil {
+				found(s.pos, s.what)
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// assignSink classifies one assignment inside the loop body: an
+// append whose target keeps element order, or a floating-point
+// accumulation.
+func assignSink(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) *orderSink {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) != 1 || !isFloat(pass.Info.Types[as.Lhs[0]].Type) {
+			return nil
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && declaredWithin(pass.Info, id, rs) {
+			return nil
+		}
+		return &orderSink{pos: as.Pos(),
+			what: "the body accumulates into a float (float addition is not associative, so the sum depends on iteration order)"}
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return nil
+	}
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(pass.Info, call) {
+		return nil
+	}
+	switch lhs := ast.Unparen(as.Lhs[0]).(type) {
+	case *ast.Ident:
+		obj := identObj(pass.Info, lhs)
+		if obj == nil || declaredWithin(pass.Info, lhs, rs) {
+			return nil // per-iteration slice: order cannot cross keys
+		}
+		if pos, comparator := sortAfter(pass, fd, rs, obj); pos.IsValid() {
+			if !comparator {
+				return nil // totally sorted after the loop: order is laundered
+			}
+			return &orderSink{pos: as.Pos(),
+				what: "appended elements reach " + quoted(lhs.Name) + ", and the comparator-based sort after the loop cannot prove a total order"}
+		}
+		return &orderSink{pos: as.Pos(),
+			what: "appended elements reach " + quoted(lhs.Name) + " in iteration order with no total sort afterwards"}
+	case *ast.IndexExpr:
+		// m[k] = append(m[k], v): per-key bucketing into another map
+		// is order-independent.
+		if t := pass.Info.Types[lhs.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				return nil
+			}
+		}
+		return &orderSink{pos: as.Pos(),
+			what: "appended elements reach an indexed slice in iteration order"}
+	default:
+		return &orderSink{pos: as.Pos(),
+			what: "appended elements escape through " + types.ExprString(as.Lhs[0]) + " in iteration order"}
+	}
+}
+
+// callSink classifies one call inside the loop body: a direct or
+// transitive RNG draw, or a metric registration. Transitive effects
+// are found through the call graph, depth-bounded, so a helper two
+// calls away still counts.
+func callSink(pass *Pass, call *ast.CallExpr) *orderSink {
+	fn := callee(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if isRNGDraw(fn) {
+		return &orderSink{pos: call.Pos(),
+			what: "the body draws from an rng stream, so the seeded draw sequence follows iteration order"}
+	}
+	if p := fn.Pkg(); p != nil && (p.Path() == "math/rand" || p.Path() == "math/rand/v2") {
+		return &orderSink{pos: call.Pos(), what: "the body draws from math/rand in iteration order"}
+	}
+	if p := fn.Pkg(); p != nil && p.Path() == metricsPkgPath && metricRegistrars[fn.Name()] {
+		return &orderSink{pos: call.Pos(),
+			what: "the body registers metric families, so series identity depends on iteration order"}
+	}
+	const sinkDepth = 3
+	if path := pass.Graph.Search(fn, sinkDepth, nil, func(f *FuncFacts) *Fact { return f.RNGDraw }); path != nil {
+		return &orderSink{pos: call.Pos(),
+			what: "the body calls " + fn.Name() + ", which reaches an RNG draw (" + chainString(fn, path) + ")"}
+	}
+	if path := pass.Graph.Search(fn, sinkDepth, nil, func(f *FuncFacts) *Fact { return f.Metric }); path != nil {
+		return &orderSink{pos: call.Pos(),
+			what: "the body calls " + fn.Name() + ", which reaches a metric registration (" + chainString(fn, path) + ")"}
+	}
+	return nil
+}
+
+// sortAfter looks for a sort of obj positioned after the loop in the
+// enclosing function. It returns the sort's position and whether it
+// was a comparator-based sort (sort.Slice and friends, which cannot
+// prove a total order) as opposed to a natural-order sort
+// (sort.Strings/Ints/Float64s, slices.Sort — total by construction).
+func sortAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) (pos token.Pos, comparator bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := callee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		var comp bool
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Strings", "Ints", "Float64s":
+				comp = false
+			case "Slice", "SliceStable", "Sort", "Stable":
+				comp = true
+			default:
+				return true
+			}
+		case "slices":
+			switch fn.Name() {
+			case "Sort":
+				comp = false
+			case "SortFunc", "SortStableFunc":
+				comp = true
+			default:
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && identObj(pass.Info, id) == obj {
+			if !pos.IsValid() || !comp {
+				pos, comparator = call.Pos(), comp
+			}
+		}
+		return true
+	})
+	return pos, comparator
+}
+
+// chainString renders a witness path "a -> b -> c: what" for
+// diagnostics.
+func chainString(from *types.Func, p *Path) string {
+	s := from.Name()
+	for _, fn := range p.Chain {
+		s += " -> " + fn.Name()
+	}
+	return s + ": " + p.Fact.What
+}
+
+// identObj resolves an identifier to its object, whether this
+// occurrence uses or defines it.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// declaredWithin reports whether id's object is declared inside node
+// n's extent.
+func declaredWithin(info *types.Info, id *ast.Ident, n ast.Node) bool {
+	obj := identObj(info, id)
+	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isFloat reports whether t's underlying type is a float.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// quoted wraps a name in double quotes for diagnostics.
+func quoted(s string) string { return `"` + s + `"` }

@@ -174,3 +174,50 @@ func TestMetricLabelExemptsMetricsPackage(t *testing.T) {
 func TestTraceCtxFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "src", "tracectx"), "voiceguard/internal/decision", TraceCtx)
 }
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "maporder"), "voiceguard/internal/obs", MapOrder)
+}
+
+// TestMapOrderIgnoresWirePlane proves the package gating: the same
+// fixture compiled outside the deterministic-sim set produces no
+// findings.
+func TestMapOrderIgnoresWirePlane(t *testing.T) {
+	m := testModule(t)
+	files := []string{filepath.Join("testdata", "src", "maporder", "maporder.go")}
+	pkg, err := m.CheckFiles("voiceguard/fixtures/maporder", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []Diagnostic
+	pass := &Pass{Analyzer: MapOrder, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, PkgPath: pkg.Path, Graph: graphFor(pkg), diags: &raw}
+	MapOrder.Run(pass)
+	if len(raw) != 0 {
+		t.Fatalf("maporder fired outside the deterministic-sim packages: %v", raw)
+	}
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "lockheld"), "voiceguard/fixtures/lockheld", LockHeld)
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "goroleak"), "voiceguard/internal/scenario", GoroLeak)
+}
+
+// TestGoroLeakIgnoresWirePlane proves the package gating: goroutine
+// hygiene is only enforced in the sim/fleet packages and the pool.
+func TestGoroLeakIgnoresWirePlane(t *testing.T) {
+	m := testModule(t)
+	files := []string{filepath.Join("testdata", "src", "goroleak", "goroleak.go")}
+	pkg, err := m.CheckFiles("voiceguard/fixtures/goroleak", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []Diagnostic
+	pass := &Pass{Analyzer: GoroLeak, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, PkgPath: pkg.Path, Graph: graphFor(pkg), diags: &raw}
+	GoroLeak.Run(pass)
+	if len(raw) != 0 {
+		t.Fatalf("goroleak fired outside its gated packages: %v", raw)
+	}
+}

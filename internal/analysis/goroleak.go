@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroleakPackages are where stray goroutines are forbidden: the
+// deterministic sim/fleet packages (a goroutine with no join makes
+// completion a scheduler race, which is exactly what the
+// bit-identical-replay tests cannot tolerate) plus the parallel pool
+// itself, whose own workers must stay provably joined.
+func goroleakGated(pkgPath string) bool {
+	return detSimPackages[pkgPath] || pkgPath == parallelPkg
+}
+
+// GoroLeak flags `go` statements in sim/fleet packages with no
+// visible join path: the goroutine body neither signals a captured
+// sync.WaitGroup whose Wait the enclosing function calls, nor
+// communicates over a captured channel (send, receive, close, or
+// select), which is the other structured way a spawner observes
+// completion or shutdown. A `go` on a named function is always
+// flagged — its join protocol, if any, is not visible at the spawn
+// site, and sim code should use the parallel pool instead.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines in sim/fleet packages need a join path: a WaitGroup the spawner waits on, or a captured channel",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	if !goroleakGated(pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, fd, gs)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(pass *Pass, fd *ast.FuncDecl, gs *ast.GoStmt) {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(gs.Pos(),
+			"go statement on a named function in sim package %s has no visible join path; use parallel.Do/Map or spawn a closure that signals a WaitGroup or channel",
+			pass.PkgPath)
+		return
+	}
+	if wg := joinedWaitGroup(pass, lit); wg != nil {
+		if waitsOn(pass, fd, wg) {
+			return
+		}
+		pass.Reportf(gs.Pos(),
+			"goroutine signals WaitGroup %q but the spawning function never calls Wait on it; join the goroutine or hand the WaitGroup to whoever does",
+			wg.Name())
+		return
+	}
+	if usesCapturedChannel(pass, lit) {
+		return
+	}
+	pass.Reportf(gs.Pos(),
+		"goroutine in sim package %s has no join path: no captured WaitGroup is signalled and no captured channel is touched, so nothing can wait for or stop it",
+		pass.PkgPath)
+}
+
+// joinedWaitGroup returns the captured *sync.WaitGroup variable the
+// goroutine body calls Done on, or nil.
+func joinedWaitGroup(pass *Pass, lit *ast.FuncLit) *types.Var {
+	var found *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(pass.Info, call)
+		if fn == nil || fn.Name() != "Done" || !recvNamed(fn, "sync", "WaitGroup") {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if v := rootVar(pass.Info, sel.X); v != nil && v.Pos() < lit.Pos() {
+			found = v
+		}
+		return true
+	})
+	return found
+}
+
+// waitsOn reports whether fd's body contains wg.Wait() on the same
+// WaitGroup variable.
+func waitsOn(pass *Pass, fd *ast.FuncDecl, wg *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(pass.Info, call)
+		if fn == nil || fn.Name() != "Wait" || !recvNamed(fn, "sync", "WaitGroup") {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if ok && rootVar(pass.Info, sel.X) == wg {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// usesCapturedChannel reports whether the goroutine body performs a
+// channel operation (send, receive, close, select case, range) on a
+// channel declared outside the literal — the structured shutdown/join
+// idiom the runtime collector and the pool workers use.
+func usesCapturedChannel(pass *Pass, lit *ast.FuncLit) bool {
+	captured := func(e ast.Expr) bool {
+		v := rootVar(pass.Info, e)
+		if v == nil || v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return false
+		}
+		t := pass.Info.Types[e].Type
+		if t == nil {
+			return false
+		}
+		_, isChan := t.Underlying().(*types.Chan)
+		return isChan
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = captured(n.Chan)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = captured(n.X)
+			}
+		case *ast.RangeStmt:
+			if captured(n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					found = captured(n.Args[0])
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootVar resolves an expression to the variable at its root: the
+// identifier itself, or the base of a selector/unary chain (`&wg`,
+// `s.done`). Selector chains resolve to the field variable, which is
+// good enough for capture checks.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := identObj(info, e).(*types.Var)
+		return v
+	case *ast.UnaryExpr:
+		return rootVar(info, e.X)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

@@ -45,12 +45,20 @@ var hotFuncs = map[string]map[string]bool{
 
 // HotAlloc flags the easy-to-miss allocation sources inside the
 // designated hot functions: any fmt call, string concatenation, and
-// string<->[]byte conversions.
+// string<->[]byte conversions — directly in the body, and (via the
+// module call graph) in any non-hot helper the function reaches
+// within hotAllocDepth calls. Helpers that are themselves designated
+// hot are skipped: their own direct findings (and suppressions, for
+// the memo-miss compute-through paths) govern them.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "designated hot functions must stay allocation-free: no fmt, string concatenation, or string<->[]byte conversion",
+	Doc:  "designated hot functions must stay allocation-free: no fmt, string concatenation, or string<->[]byte conversion, directly or through reachable helpers",
 	Run:  runHotAlloc,
 }
+
+// hotAllocDepth bounds the reachability query: an allocating helper
+// more than this many calls away from a hot function is invisible.
+const hotAllocDepth = 4
 
 func runHotAlloc(pass *Pass) {
 	funcs := hotFuncs[pass.PkgPath]
@@ -64,7 +72,44 @@ func runHotAlloc(pass *Pass) {
 				continue
 			}
 			checkHotBody(pass, fd.Name.Name, fd.Body, false)
+			checkHotReach(pass, fd)
 		}
+	}
+}
+
+// isHotFunc reports whether fn is on any package's designated hot
+// list.
+func isHotFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return hotFuncs[fn.Pkg().Path()][fn.Name()]
+}
+
+// checkHotReach walks the call graph from one hot function and flags
+// every call site whose callee chain reaches an allocation source in
+// a non-hot helper. The direct body check already covers allocations
+// in the hot function itself and in other hot functions, so those are
+// pruned from the search.
+func checkHotReach(pass *Pass, fd *ast.FuncDecl) {
+	fn := FuncOf(pass.Info, fd)
+	if fn == nil {
+		return
+	}
+	allocFact := func(f *FuncFacts) *Fact { return f.Alloc }
+	reported := map[token.Pos]bool{}
+	for _, e := range pass.Graph.Edges(fn) {
+		if reported[e.Site] || isHotFunc(e.Callee) {
+			continue
+		}
+		path := pass.Graph.Search(e.Callee, hotAllocDepth-1, isHotFunc, allocFact)
+		if path == nil {
+			continue
+		}
+		reported[e.Site] = true
+		pass.Reportf(e.Site,
+			"call in hot function %s reaches an allocating helper (%s at %s); inline the hot case or move the allocation off this path",
+			fd.Name.Name, chainString(e.Callee, path), pass.Fset.Position(path.Fact.Pos))
 	}
 }
 

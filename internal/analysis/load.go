@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package of the module.
@@ -21,6 +22,8 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	mod *Module // owning module, for call-graph access
 }
 
 // Module is the fully loaded module: every non-test package, parsed
@@ -33,6 +36,20 @@ type Module struct {
 
 	pkgs map[string]*Package
 	std  types.Importer
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// Graph returns the module-wide call graph, built on first use and
+// cached for the module's lifetime. The build is serial and touches
+// every loaded package, so concurrent analysis passes (vglint's
+// package fan-out) share one graph instead of re-deriving it.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() {
+		m.graph = buildCallGraph(m)
+	})
+	return m.graph
 }
 
 // FindModuleRoot walks up from dir to the nearest directory
@@ -205,7 +222,7 @@ func (m *Module) parseDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &Package{Path: importPath, Dir: dir, Fset: m.Fset}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: m.Fset, mod: m}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -321,7 +338,7 @@ func (si *stdImporter) Import(path string) (*types.Package, error) {
 // module. The fixture tests use it to compile testdata packages that
 // masquerade as gated module packages.
 func (m *Module) CheckFiles(importPath string, filenames []string) (*Package, error) {
-	pkg := &Package{Path: importPath, Fset: m.Fset}
+	pkg := &Package{Path: importPath, Fset: m.Fset, mod: m}
 	for _, name := range filenames {
 		f, err := parser.ParseFile(m.Fset, name, nil, parser.ParseComments)
 		if err != nil {

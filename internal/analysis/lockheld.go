@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags a sync.Mutex or sync.RWMutex held across a blocking
+// operation: a parallel.Map/MapErr/Do fan-out, a channel
+// send/receive/select, sync.WaitGroup.Wait, time.Sleep, or a call
+// that reaches any of those through the call graph. This is the fleet
+// shard discipline ("the mutex guards the map and order slice only —
+// never held while a tenant runs") promoted from comment to machine
+// check: a lock held across a fan-out serializes the worker pool at
+// best and deadlocks it at worst.
+//
+// The tracker is intra-procedural and statement-ordered: Lock/RLock
+// adds the lock, Unlock/RUnlock removes it, a deferred Unlock keeps
+// it held to the end of the function. Branch bodies are analyzed with
+// a copy of the held set, so a conditional early unlock never leaks
+// state into the fall-through path. Blocking calls hiding behind
+// helpers are found through the module call graph, depth-bounded.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "mutexes must not be held across fan-outs, channel ops, or other blocking calls",
+	Run:  runLockHeld,
+}
+
+// lockHeldSearchDepth bounds the transitive-blocking query: a helper
+// chain deeper than this is invisible (under-approximation by
+// design).
+const lockHeldSearchDepth = 3
+
+func runLockHeld(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	// Every function body — declarations and closures alike — is its
+	// own lock scope. Closures matter most: worker-pool bodies and
+	// goroutine callbacks are exactly where a lock and a channel op
+	// meet. The statement scanner never descends into a nested
+	// FuncLit, so each body here is analyzed exactly once.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanLockedStmts(pass, n.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				scanLockedStmts(pass, n.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// scanLockedStmts walks one statement list in order, maintaining the
+// set of held locks (key: rendered receiver expression -> acquire
+// position). Nested control flow gets a copy of the set: acquisition
+// or release inside a branch is not assumed on the fall-through path.
+func scanLockedStmts(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, acquire, ok := lockCall(pass, s.X); ok {
+				if acquire {
+					held[key] = s.Pos()
+				} else {
+					delete(held, key)
+				}
+				continue
+			}
+			checkBlocking(pass, s, held)
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held for the rest of the
+			// function — exactly the case the rule exists for. Any other
+			// deferred work runs after the body and is not scanned.
+			continue
+		case *ast.GoStmt:
+			// The spawned goroutine does not hold the caller's locks.
+			continue
+		case *ast.BlockStmt:
+			scanLockedStmts(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			checkBlocking(pass, s.Cond, held)
+			scanLockedStmts(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				scanLockedStmts(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				checkBlocking(pass, s.Cond, held)
+			}
+			scanLockedStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if t := pass.Info.Types[s.X].Type; t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						reportHeld(pass, s.Pos(), held, "ranging over a channel")
+						continue
+					}
+				}
+			}
+			scanLockedStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockedStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockedStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				reportHeld(pass, s.Pos(), held, "a select statement")
+			}
+		case *ast.LabeledStmt:
+			scanLockedStmts(pass, []ast.Stmt{s.Stmt}, held)
+		default:
+			checkBlocking(pass, stmt, held)
+		}
+	}
+}
+
+// checkBlocking reports the first blocking operation inside node n
+// while any lock is held. Function literals and go statements are not
+// descended into: their bodies run elsewhere (or later) and do not
+// hold these locks at this point.
+func checkBlocking(pass *Pass, n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	done := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if done {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			reportHeld(pass, c.Pos(), held, "a channel send")
+			done = true
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				reportHeld(pass, c.Pos(), held, "a channel receive")
+				done = true
+			}
+		case *ast.SelectStmt:
+			reportHeld(pass, c.Pos(), held, "a select statement")
+			done = true
+		case *ast.CallExpr:
+			if what := blockingCall(pass, c); what != "" {
+				reportHeld(pass, c.Pos(), held, what)
+				done = true
+			}
+		}
+		return !done
+	})
+}
+
+// blockingCall classifies a call as blocking: the direct primitives,
+// or a module function that reaches one through the call graph.
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	fn := callee(pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	if p := fn.Pkg(); p != nil {
+		switch p.Path() {
+		case parallelPkg:
+			switch fn.Name() {
+			case "Map", "MapErr", "Do":
+				return "a parallel." + fn.Name() + " fan-out"
+			}
+		case "time":
+			if fn.Name() == "Sleep" {
+				return "time.Sleep"
+			}
+		case "sync":
+			if fn.Name() == "Wait" && recvNamed(fn, "sync", "WaitGroup") {
+				return "sync.WaitGroup.Wait"
+			}
+			return ""
+		}
+	}
+	if path := pass.Graph.Search(fn, lockHeldSearchDepth, nil, func(f *FuncFacts) *Fact { return f.Block }); path != nil {
+		return "a call that blocks (" + chainString(fn, path) + ")"
+	}
+	return ""
+}
+
+// reportHeld emits one finding per lock held at a blocking site.
+func reportHeld(pass *Pass, pos token.Pos, held map[string]token.Pos, what string) {
+	for _, key := range sortedKeys(held) {
+		pass.Reportf(pos,
+			"mutex %q (acquired at line %d) is held across %s; release it first — shard discipline forbids holding a lock over a blocking operation",
+			key, pass.Fset.Position(held[key]).Line, what)
+	}
+}
+
+// lockCall matches x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() on a
+// sync.Mutex or sync.RWMutex (embedded ones included), returning the
+// rendered lock expression and whether the call acquires.
+func lockCall(pass *Pass, e ast.Expr) (key string, acquire, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	fn := callee(pass.Info, call)
+	if fn == nil || !(recvNamed(fn, "sync", "Mutex") || recvNamed(fn, "sync", "RWMutex")) {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// copyHeld clones the held-lock set for a branch body.
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// sortedKeys returns the held-lock keys in sorted order so reports
+// are deterministic.
+func sortedKeys(m map[string]token.Pos) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

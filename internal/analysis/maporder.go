@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detSimPackages are the packages whose outputs must be pure
+// functions of their seeds: the scenario engine, the fleet manager,
+// the decision/radio/mobility/faults simulation layers, and the obs
+// summaries the fleet view renders. Go randomizes map iteration order
+// per run, so inside these packages a `range` over a map is only
+// legal when the loop body is provably order-insensitive or the keys
+// were sorted first — anything else silently breaks the
+// bit-identical-replay guarantees the reproduction's tests pin.
+var detSimPackages = map[string]bool{
+	"voiceguard/internal/scenario": true,
+	"voiceguard/internal/fleet":    true,
+	"voiceguard/internal/decision": true,
+	"voiceguard/internal/radio":    true,
+	"voiceguard/internal/mobility": true,
+	"voiceguard/internal/faults":   true,
+	"voiceguard/internal/obs":      true,
+}
+
+// MapOrder flags map ranges in deterministic simulation packages
+// whose iteration order can escape: into a slice that keeps element
+// order (unless the slice is totally sorted afterwards), an RNG draw
+// sequence (directly or through callees, via the call graph), a
+// metric registration, a channel, or a floating-point accumulator.
+// Order-insensitive bodies — counting, map-to-map transforms,
+// collect-then-sort-keys — pass without annotation.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not escape in deterministic sim packages; sort keys first or prove the body order-insensitive",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !detSimPackages[pass.PkgPath] {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Info.Types[rs.X].Type
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sink := findOrderSink(pass, fd, rs); sink != nil {
+					pass.Reportf(rs.Pos(),
+						"map iteration order escapes in deterministic package %s: %s; iterate sorted keys instead",
+						pass.PkgPath, sink.what)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -63,8 +63,9 @@ func parseDirectives(pkg *Package) []*directive {
 // line directly above it, suppresses findings of its rule. Malformed
 // directives, and directives for an executed rule that suppressed
 // nothing, are reported as findings themselves so stale annotations
-// cannot accumulate.
-func applySuppressions(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []Diagnostic {
+// cannot accumulate. The second result counts the silenced findings
+// per rule, for the scan summary.
+func applySuppressions(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) ([]Diagnostic, map[string]int) {
 	directives := parseDirectives(pkg)
 	byLine := make(map[string][]*directive, len(directives))
 	key := func(file string, line int) string { return file + "\x00" + strconv.Itoa(line) }
@@ -76,6 +77,7 @@ func applySuppressions(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []
 	}
 
 	var out []Diagnostic
+	silenced := make(map[string]int)
 	for _, diag := range raw {
 		suppressed := false
 		for _, line := range []int{diag.Pos.Line, diag.Pos.Line - 1} {
@@ -88,6 +90,8 @@ func applySuppressions(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []
 		}
 		if !suppressed {
 			out = append(out, diag)
+		} else {
+			silenced[diag.Rule]++
 		}
 	}
 
@@ -112,5 +116,5 @@ func applySuppressions(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []
 			})
 		}
 	}
-	return out
+	return out, silenced
 }

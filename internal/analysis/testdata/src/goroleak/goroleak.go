@@ -1,0 +1,97 @@
+// Package scenario is the vglint fixture for the goroleak rule,
+// compiled under the deterministic package path
+// voiceguard/internal/scenario: a `go` statement needs a visible join
+// path — a captured WaitGroup the spawner waits on, or a captured
+// channel — and a `go` on a named function is always flagged.
+package scenario
+
+import "sync"
+
+// tick is a named function target for the always-flagged case.
+func tick(n int) int { return n + 1 }
+
+// NamedGo spawns a named function: the join protocol, if any, is
+// invisible at the spawn site.
+func NamedGo() {
+	go tick(1) // want `go statement on a named function in sim package voiceguard/internal/scenario`
+}
+
+// FireAndForget spawns a closure that touches no WaitGroup and no
+// captured channel: nothing can wait for or stop it.
+func FireAndForget(xs []int) {
+	go func() { // want `goroutine in sim package voiceguard/internal/scenario has no join path`
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		_ = s
+	}()
+}
+
+// JoinedByWaitGroup signals a captured WaitGroup the spawner waits
+// on: the structured pattern, no finding.
+func JoinedByWaitGroup(xs []int) int {
+	var wg sync.WaitGroup
+	s := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			s += x
+		}
+	}()
+	wg.Wait()
+	return s
+}
+
+// SignalsButNeverWaits calls Done on a WaitGroup nobody waits on:
+// flagged with the WaitGroup's name.
+func SignalsButNeverWaits(xs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine signals WaitGroup "wg" but the spawning function never calls Wait`
+		defer wg.Done()
+		_ = len(xs)
+	}()
+}
+
+// JoinedByChannel communicates over a captured channel: the spawner
+// can receive the result, no finding.
+func JoinedByChannel(xs []int) int {
+	done := make(chan int, 1)
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		done <- s
+	}()
+	return <-done
+}
+
+// ClosedChannelJoin closes a captured channel as its completion
+// signal: still a join path, no finding.
+func ClosedChannelJoin(ready chan struct{}) {
+	go func() {
+		close(ready)
+	}()
+}
+
+// InnerChannelIsNotAJoin makes its channel inside the goroutine: the
+// spawner cannot see it, so it joins nothing.
+func InnerChannelIsNotAJoin() {
+	go func() { // want `has no join path`
+		ch := make(chan int, 1)
+		ch <- 1
+		<-ch
+	}()
+}
+
+// AllowedDetached keeps a deliberate detached goroutine under a
+// directive.
+func AllowedDetached(xs []int) {
+	//vglint:allow goroleak fixture mirrors a process-lifetime collector owned by the runtime, not the sim
+	go func() {
+		_ = len(xs)
+	}()
+}

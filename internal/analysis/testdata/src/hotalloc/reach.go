@@ -1,0 +1,65 @@
+// reach.go exercises the interprocedural half of hotalloc: a hot
+// function is also forbidden from *reaching* an allocating helper
+// through the call graph, depth-bounded. Helpers that are themselves
+// designated hot are skipped — their own direct findings (and
+// suppressions) govern them.
+package radio
+
+import "fmt"
+
+// MeanBatch reaches fmt two calls down: the call site is flagged with
+// the witness chain.
+func (m *Model) MeanBatch(keys []string) []string {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, buildKey(k)) // want `call in hot function MeanBatch reaches an allocating helper \(buildKey -> formatKey`
+	}
+	return out
+}
+
+func buildKey(k string) string  { return formatKey(k) }
+func formatKey(k string) string { return fmt.Sprintf("key=%s", k) }
+
+// SampleBatch reaches only allocation-free arithmetic: no finding.
+func (m *Model) SampleBatch(n int) int {
+	return pureSum(n)
+}
+
+func pureSum(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// SampleRepeat calls the hot Sample, whose own direct findings govern
+// its body: the call site is not re-flagged.
+func (m *Model) SampleRepeat(a, b float64) string {
+	return m.Sample(a, b)
+}
+
+// SampleFromMeans reaches an allocator five calls down — beyond the
+// search horizon, so the under-approximation stays quiet.
+func (m *Model) SampleFromMeans(n int) int {
+	return deep1(n)
+}
+
+func deep1(n int) int { return deep2(n) }
+func deep2(n int) int { return deep3(n) }
+func deep3(n int) int { return deep4(n) }
+func deep4(n int) int { return deep5(n) }
+func deep5(n int) int { return len(fmt.Sprint(n)) }
+
+// AverageAtBatch keeps a deliberate reach under a directive: the
+// batch formatter is the cold reporting path.
+func (m *Model) AverageAtBatch(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		//vglint:allow hotalloc batch rendering is the cold reporting path; the per-sample hot path never calls this
+		out[i] = renderValue(x)
+	}
+	return out
+}
+
+func renderValue(x float64) string { return fmt.Sprint(x) }

@@ -1,0 +1,125 @@
+// Package lockheld is the vglint fixture for the lockheld rule: a
+// sync.Mutex/RWMutex held across a parallel fan-out, channel
+// operation, select, WaitGroup.Wait, time.Sleep, or a helper that
+// reaches one of those is flagged; lock-release before blocking, and
+// locks scoped to branches or goroutine bodies, pass.
+package lockheld
+
+import (
+	"sync"
+	"time"
+
+	"voiceguard/internal/parallel"
+)
+
+// Guarded is the shard shape the rule protects.
+type Guarded struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items []int
+}
+
+// FanOutUnderLock holds the mutex across the worker-pool fan-out: the
+// textbook violation.
+func (g *Guarded) FanOutUnderLock(out []int) {
+	g.mu.Lock()
+	parallel.Do(len(g.items), func(i int) { // want `mutex "g\.mu" \(acquired at line \d+\) is held across a parallel\.Do fan-out`
+		out[i] = g.items[i]
+	})
+	g.mu.Unlock()
+}
+
+// ReleaseThenFanOut snapshots under the lock and fans out after the
+// release: the disciplined pattern, no finding.
+func (g *Guarded) ReleaseThenFanOut(out []int) {
+	g.mu.Lock()
+	snapshot := append([]int(nil), g.items...)
+	g.mu.Unlock()
+	parallel.Do(len(snapshot), func(i int) {
+		out[i] = snapshot[i]
+	})
+}
+
+// DeferredUnlockAcrossReceive keeps the lock to function end via
+// defer, so the receive happens with it held.
+func (g *Guarded) DeferredUnlockAcrossReceive(ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-ch // want `mutex "g\.mu" .* is held across a channel receive`
+}
+
+// SendUnderLock sends with the lock held.
+func (g *Guarded) SendUnderLock(ch chan int) {
+	g.mu.Lock()
+	ch <- len(g.items) // want `is held across a channel send`
+	g.mu.Unlock()
+}
+
+// SelectUnderRLock holds a read lock across a select.
+func (g *Guarded) SelectUnderRLock(a, b chan int) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	select { // want `mutex "g\.rw" .* is held across a select statement`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// WaitUnderLock holds the mutex across a WaitGroup join.
+func (g *Guarded) WaitUnderLock(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want `is held across sync\.WaitGroup\.Wait`
+	g.mu.Unlock()
+}
+
+// ClosureHoldsAcrossSleep locks inside a closure body: closures are
+// independent lock scopes and are scanned too.
+func (g *Guarded) ClosureHoldsAcrossSleep(d time.Duration) func() {
+	return func() {
+		g.mu.Lock()
+		time.Sleep(d) // want `is held across time\.Sleep`
+		g.mu.Unlock()
+	}
+}
+
+// settle hides the blocking call one level down; the call graph still
+// finds it.
+func settle(d time.Duration) { time.Sleep(d) }
+
+// HelperBlocksUnderLock reaches time.Sleep through a helper.
+func (g *Guarded) HelperBlocksUnderLock(d time.Duration) {
+	g.mu.Lock()
+	settle(d) // want `is held across a call that blocks \(settle`
+	g.mu.Unlock()
+}
+
+// BranchScopedLock acquires and releases entirely inside a branch:
+// the fall-through channel send runs unlocked, no finding.
+func (g *Guarded) BranchScopedLock(cond bool, ch chan int) {
+	if cond {
+		g.mu.Lock()
+		g.items = g.items[:0]
+		g.mu.Unlock()
+	}
+	ch <- len(g.items)
+}
+
+// GoroutineDoesNotHoldCallerLock spawns under the lock: the goroutine
+// body runs without it, so neither scope is a violation.
+func (g *Guarded) GoroutineDoesNotHoldCallerLock(ch chan int) {
+	g.mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	g.mu.Unlock()
+}
+
+// AllowedHold keeps a deliberate hold under a directive.
+func (g *Guarded) AllowedHold(ch chan int) {
+	g.mu.Lock()
+	//vglint:allow lockheld fixture mirrors a bounded handoff on a buffered channel that never blocks
+	ch <- len(g.items)
+	g.mu.Unlock()
+}

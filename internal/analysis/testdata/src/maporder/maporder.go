@@ -1,0 +1,130 @@
+// Package obs is the vglint fixture for the maporder rule, compiled
+// under the deterministic package path voiceguard/internal/obs: a
+// `range` over a map is flagged when iteration order can escape —
+// into an order-keeping slice, an RNG draw sequence, a metric
+// registration, a channel, or a float accumulator — and passes when
+// the body is order-insensitive or the result is totally sorted.
+package obs
+
+import (
+	"sort"
+
+	"voiceguard/internal/metrics"
+	"voiceguard/internal/rng"
+)
+
+// AppendUnsorted leaks iteration order straight into the returned
+// slice.
+func AppendUnsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `map iteration order escapes in deterministic package voiceguard/internal/obs: appended elements reach "out" in iteration order with no total sort afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// AppendThenSortKeys launders the order through a natural-order sort:
+// no finding.
+func AppendThenSortKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppendThenComparatorSort sorts with a comparator, which cannot
+// prove a total order (equal-compare elements keep insertion order):
+// still a finding.
+func AppendThenComparatorSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `comparator-based sort after the loop cannot prove a total order`
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+// DrawPerKey consumes the seeded stream in iteration order: the draw
+// sequence — part of the replay contract — becomes a map-order race.
+func DrawPerKey(m map[string]int, src *rng.Source) {
+	for range m { // want `the body draws from an rng stream`
+		_ = src.Normal(0, 1)
+	}
+}
+
+// jitter hides the draw one call away; the call graph still sees it.
+func jitter(src *rng.Source) float64 { return src.Normal(0, 1) }
+
+// DrawViaHelper reaches the RNG through a helper: flagged with the
+// witness chain.
+func DrawViaHelper(m map[string]int, src *rng.Source) {
+	for range m { // want `calls jitter, which reaches an RNG draw`
+		_ = jitter(src)
+	}
+}
+
+// RegisterPerKey fixes metric series identity in iteration order.
+func RegisterPerKey(m map[string]string) {
+	for _, name := range m { // want `registers metric families`
+		metrics.NewCounter(name)
+	}
+}
+
+// SendPerKey makes receive order follow iteration order.
+func SendPerKey(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+// FloatAccumulate sums floats in iteration order: float addition does
+// not commute under rounding.
+func FloatAccumulate(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `accumulates into a float`
+		total += v
+	}
+	return total
+}
+
+// CountKeys is order-insensitive: integer counting commutes.
+func CountKeys(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// BucketPerKey appends into another map per key: order cannot cross
+// keys, so no finding.
+func BucketPerKey(m map[string]int, out map[string][]int) {
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+}
+
+// LocalPerIteration builds a fresh slice each iteration: order never
+// crosses keys.
+func LocalPerIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		pair := make([]int, 0, 2)
+		pair = append(pair, len(vs), cap(vs))
+		n += len(pair)
+	}
+	return n
+}
+
+// Allowed keeps a deliberate escape under a directive: the overflow
+// diagnostics dump is explicitly unordered.
+func Allowed(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//vglint:allow maporder fixture mirrors a diagnostics dump whose order is documented as unspecified
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -102,6 +102,7 @@ func (t *Tenant) step() bool {
 	if day >= t.days {
 		return false
 	}
+	//vglint:allow hotalloc the 0-alloc contract covers dispatch overhead; RunDay executes a whole simulated day, whose allocations are the scenario engine's own budget
 	t.home.RunDay(day)
 	t.next.Store(int64(day) + 1)
 	return true

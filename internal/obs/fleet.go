@@ -84,14 +84,24 @@ func FleetSummary(s metrics.Snapshot) []FleetRow {
 			}
 		}
 	}
-	rows := make([]FleetRow, 0, len(byHome))
-	for _, a := range byHome {
+	// Emit rows in sorted home-ID order before ranking: map iteration
+	// order must never reach the output (vglint maporder), and feeding
+	// the ranking sort a deterministic permutation keeps the top-K cut
+	// stable even if a future edit drops the tie-break below.
+	homes := make([]string, 0, len(byHome))
+	for home := range byHome {
+		homes = append(homes, home)
+	}
+	sort.Strings(homes)
+	rows := make([]FleetRow, 0, len(homes))
+	for _, home := range homes {
+		a := byHome[home]
 		a.row.Commands = a.count
 		merged := metrics.HistogramSnapshot{Count: a.count, Buckets: a.buckets}
 		a.row.DecisionP99 = merged.Quantile(0.99)
 		rows = append(rows, a.row)
 	}
-	sort.Slice(rows, func(i, j int) bool {
+	sort.SliceStable(rows, func(i, j int) bool {
 		if rows[i].DecisionP99 != rows[j].DecisionP99 {
 			return rows[i].DecisionP99 > rows[j].DecisionP99
 		}

@@ -102,6 +102,49 @@ func TestFleetSummaryOverflowRow(t *testing.T) {
 	}
 }
 
+// TestFleetSummaryDeterministicOrder pins the ranking against Go's
+// randomized map iteration: with every home tied on p99 and degraded
+// count, ties break on home ID ascending, and repeated summaries of
+// the same snapshot are identical row for row — including the top-K
+// cut a renderer takes. This is the regression test for the map-order
+// escape vglint's maporder rule flagged here.
+func TestFleetSummaryDeterministicOrder(t *testing.T) {
+	r := metrics.NewRegistry()
+	hv := r.HistogramVec(decision.MetricLatency)
+	dv := r.CounterVec(guard.MetricDegraded)
+	homes := []string{"h07", "h03", "h11", "h01", "h09", "h05", "h02", "h10", "h04", "h08", "h06", "h12"}
+	for _, home := range homes {
+		// Identical series per home: p99 and degraded tie everywhere.
+		hv.With(metrics.Labels{Home: home}).ObserveN(3*time.Millisecond, 10)
+		dv.With(metrics.Labels{Home: home}).Add(2)
+	}
+	// One genuinely slow home must still rank first.
+	hv.With(metrics.Labels{Home: "h99"}).ObserveN(900*time.Millisecond, 10)
+
+	snap := r.Snapshot()
+	first := FleetSummary(snap)
+	if len(first) != len(homes)+1 {
+		t.Fatalf("rows = %d, want %d", len(first), len(homes)+1)
+	}
+	if first[0].Home != "h99" {
+		t.Fatalf("worst home = %q, want h99", first[0].Home)
+	}
+	for i, row := range first[1:] {
+		want := "h" + string(rune('0'+(i+1)/10)) + string(rune('0'+(i+1)%10))
+		if row.Home != want {
+			t.Fatalf("tied rows out of home order at %d: got %q, want %q (rows=%+v)", i+1, row.Home, want, first)
+		}
+	}
+	for run := 0; run < 20; run++ {
+		rows := FleetSummary(snap)
+		for i := range rows {
+			if rows[i] != first[i] {
+				t.Fatalf("run %d diverged at row %d: %+v vs %+v", run, i, rows[i], first[i])
+			}
+		}
+	}
+}
+
 func TestWriteTopFleetSection(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteTop(&buf, TopView{Snapshot: fleetRegistry().Snapshot(), TopK: 2}); err != nil {

@@ -129,6 +129,7 @@ func (r *Recognizer) CurrentSpike() []pcap.Packet {
 // action it implies.
 func (r *Recognizer) Feed(p pcap.Packet) Action {
 	if r.Tracker != nil {
+		//vglint:allow hotalloc DNS parsing allocates the name string, but only runs on the rare resolver packets behind Observe's port check, never on the per-packet voice path
 		r.Tracker.Observe(p)
 	}
 	switch r.Kind {
@@ -170,12 +171,14 @@ func (r *Recognizer) tryDecide() Action {
 	// Response markers can be spotted as soon as they appear.
 	if hasAdjacent(lengths, trafficgen.P77, trafficgen.P33, responseWindow) {
 		mPhase2Markers.Inc()
+		//vglint:allow hotalloc marker tracing fires once per spike, not per packet, and the slog concat it reaches sits behind a logger nil check
 		r.traceMarker("phase2_marker", r.lastVoice)
 		r.decided = true
 		return ActionRelease
 	}
 	if hasWithin(lengths, trafficgen.P138, commandWindow) || hasWithin(lengths, trafficgen.P75, commandWindow) {
 		mPhase1Markers.Inc()
+		//vglint:allow hotalloc marker tracing fires once per spike, not per packet, and the slog concat it reaches sits behind a logger nil check
 		r.traceMarker("phase1_marker", r.lastVoice)
 		r.decided = true
 		return ActionCommand
@@ -185,6 +188,7 @@ func (r *Recognizer) tryDecide() Action {
 	}
 	if matchesCommandFallback(lengths) {
 		mFallbackMatches.Inc()
+		//vglint:allow hotalloc marker tracing fires once per spike, not per packet, and the slog concat it reaches sits behind a logger nil check
 		r.traceMarker("fallback_match", r.lastVoice)
 		r.decided = true
 		return ActionCommand
