@@ -41,7 +41,9 @@ type FuncFacts struct {
 	Alloc *Fact
 	// Block is a blocking operation: a channel send/receive/select,
 	// ranging over a channel, sync.WaitGroup.Wait, time.Sleep, or a
-	// parallel.Map/MapErr/Do fan-out.
+	// parallel.Map/MapErr/Do fan-out. Operations inside a go
+	// statement's subtree are excluded: they run on the spawned
+	// goroutine and never block the function that spawned it.
 	Block *Fact
 	// RNGDraw is a state-consuming draw: any *rng.Source method other
 	// than the pure Split/SplitN/Seed/Fresh, or a math/rand call.
@@ -53,10 +55,14 @@ type FuncFacts struct {
 
 // Edge is one static call: the call site inside the caller and the
 // resolved callee. Interface calls fan out to one Edge per module
-// concrete method implementing the interface method.
+// concrete method implementing the interface method. Go marks a call
+// site inside a go statement's subtree: the callee runs on a spawned
+// goroutine, so blocking queries (SearchSync) do not traverse it,
+// while allocation and determinism queries (Search) still do.
 type Edge struct {
 	Site   token.Pos
 	Callee *types.Func
+	Go     bool
 }
 
 // Path is a reachability witness returned by Search: the chain of
@@ -107,6 +113,20 @@ func (g *CallGraph) Facts(fn *types.Func) *FuncFacts {
 // edges are recorded in source order and ties break breadth-first, so
 // the same tree always yields the same witness.
 func (g *CallGraph) Search(from *types.Func, depth int, skip func(*types.Func) bool, sel func(*FuncFacts) *Fact) *Path {
+	return g.search(from, depth, skip, sel, true)
+}
+
+// SearchSync is Search restricted to synchronous control flow: edges
+// whose call site sits inside a go statement are not traversed, since
+// work handed to a spawned goroutine never blocks (or runs under the
+// locks of) the function that spawned it. Blocking queries use this;
+// allocation and determinism queries keep the full Search, where a
+// goroutine's draws and allocations still matter.
+func (g *CallGraph) SearchSync(from *types.Func, depth int, skip func(*types.Func) bool, sel func(*FuncFacts) *Fact) *Path {
+	return g.search(from, depth, skip, sel, false)
+}
+
+func (g *CallGraph) search(from *types.Func, depth int, skip func(*types.Func) bool, sel func(*FuncFacts) *Fact, followGo bool) *Path {
 	if from == nil || (skip != nil && skip(from)) {
 		return nil
 	}
@@ -125,6 +145,9 @@ func (g *CallGraph) Search(from *types.Func, depth int, skip func(*types.Func) b
 				}
 			}
 			for _, e := range g.Edges(n.fn) {
+				if !followGo && e.Go {
+					continue
+				}
 				if visited[e.Callee] || (skip != nil && skip(e.Callee)) {
 					continue
 				}
@@ -232,7 +255,10 @@ func (b *graphBuilder) sortConcrete() {
 // addPackage walks every function declaration of pkg, recording its
 // outgoing edges and direct facts. Function literals contribute to
 // their enclosing declaration: whether a closure runs inline or on a
-// worker, its behavior is attributed to the function that created it.
+// worker, its behavior is attributed to the function that created it
+// — except that inside a go statement's subtree, Block facts are not
+// recorded (the spawned goroutine's channel ops never block the
+// spawner) and edges are marked Go so SearchSync skips them.
 func (b *graphBuilder) addPackage(pkg *Package) {
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
@@ -246,31 +272,48 @@ func (b *graphBuilder) addPackage(pkg *Package) {
 			}
 			facts := &FuncFacts{}
 			b.g.facts[fn] = facts
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				b.visit(pkg, fn, facts, n)
-				return true
-			})
+			b.walkBody(pkg, fn, facts, fd.Body, false)
 		}
 	}
 }
 
+// walkBody visits every node under root, switching inGo on when it
+// descends into a go statement's call (and staying on for anything
+// nested deeper).
+func (b *graphBuilder) walkBody(pkg *Package, fn *types.Func, facts *FuncFacts, root ast.Node, inGo bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok && !inGo {
+			b.walkBody(pkg, fn, facts, gs.Call, true)
+			return false
+		}
+		b.visit(pkg, fn, facts, n, inGo)
+		return true
+	})
+}
+
 // visit processes one node inside fn's body (closures included).
-func (b *graphBuilder) visit(pkg *Package, fn *types.Func, facts *FuncFacts, n ast.Node) {
+func (b *graphBuilder) visit(pkg *Package, fn *types.Func, facts *FuncFacts, n ast.Node, inGo bool) {
 	switch n := n.(type) {
 	case *ast.CallExpr:
-		b.visitCall(pkg, fn, facts, n)
+		b.visitCall(pkg, fn, facts, n, inGo)
 	case *ast.SendStmt:
-		record(&facts.Block, n.Pos(), "a channel send")
+		if !inGo {
+			record(&facts.Block, n.Pos(), "a channel send")
+		}
 	case *ast.UnaryExpr:
-		if n.Op == token.ARROW {
+		if n.Op == token.ARROW && !inGo {
 			record(&facts.Block, n.Pos(), "a channel receive")
 		}
 	case *ast.SelectStmt:
-		record(&facts.Block, n.Pos(), "a select statement")
+		if !inGo {
+			record(&facts.Block, n.Pos(), "a select statement")
+		}
 	case *ast.RangeStmt:
-		if t := pkg.Info.Types[n.X].Type; t != nil {
-			if _, ok := t.Underlying().(*types.Chan); ok {
-				record(&facts.Block, n.Pos(), "ranging over a channel")
+		if !inGo {
+			if t := pkg.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					record(&facts.Block, n.Pos(), "ranging over a channel")
+				}
 			}
 		}
 	case *ast.BinaryExpr:
@@ -285,8 +328,9 @@ func (b *graphBuilder) visit(pkg *Package, fn *types.Func, facts *FuncFacts, n a
 }
 
 // visitCall classifies one call: records facts it evidences and the
-// static edge(s) it contributes.
-func (b *graphBuilder) visitCall(pkg *Package, fn *types.Func, facts *FuncFacts, call *ast.CallExpr) {
+// static edge(s) it contributes. Block facts are suppressed inside go
+// subtrees — the spawned goroutine blocks, not the spawner.
+func (b *graphBuilder) visitCall(pkg *Package, fn *types.Func, facts *FuncFacts, call *ast.CallExpr, inGo bool) {
 	if to, from := conversionKind(pkg.Info, call); to != "" {
 		record(&facts.Alloc, call.Pos(), to+"("+from+") conversion")
 		return
@@ -300,7 +344,7 @@ func (b *graphBuilder) visitCall(pkg *Package, fn *types.Func, facts *FuncFacts,
 		case "fmt":
 			record(&facts.Alloc, call.Pos(), "fmt."+callee.Name())
 		case "time":
-			if callee.Name() == "Sleep" {
+			if callee.Name() == "Sleep" && !inGo {
 				record(&facts.Block, call.Pos(), "time.Sleep")
 			}
 		case "math/rand", "math/rand/v2":
@@ -308,10 +352,12 @@ func (b *graphBuilder) visitCall(pkg *Package, fn *types.Func, facts *FuncFacts,
 		case parallelPkg:
 			switch callee.Name() {
 			case "Map", "MapErr", "Do":
-				record(&facts.Block, call.Pos(), "parallel."+callee.Name()+" fan-out")
+				if !inGo {
+					record(&facts.Block, call.Pos(), "parallel."+callee.Name()+" fan-out")
+				}
 			}
 		case "sync":
-			if callee.Name() == "Wait" && recvNamed(callee, "sync", "WaitGroup") {
+			if callee.Name() == "Wait" && recvNamed(callee, "sync", "WaitGroup") && !inGo {
 				record(&facts.Block, call.Pos(), "sync.WaitGroup.Wait")
 			}
 		case metricsPkgPath:
@@ -323,7 +369,7 @@ func (b *graphBuilder) visitCall(pkg *Package, fn *types.Func, facts *FuncFacts,
 	if isRNGDraw(callee) {
 		record(&facts.RNGDraw, call.Pos(), "rng.Source."+callee.Name()+" draw")
 	}
-	b.addEdges(fn, call.Pos(), callee)
+	b.addEdges(fn, call.Pos(), callee, inGo)
 }
 
 // addEdges records the static edge fn -> callee, resolving interface
@@ -331,35 +377,40 @@ func (b *graphBuilder) visitCall(pkg *Package, fn *types.Func, facts *FuncFacts,
 // module-local callees become edges: standard-library behavior the
 // rules care about (fmt, time.Sleep, ...) is folded into the caller's
 // own facts instead.
-func (b *graphBuilder) addEdges(fn *types.Func, site token.Pos, callee *types.Func) {
+func (b *graphBuilder) addEdges(fn *types.Func, site token.Pos, callee *types.Func, inGo bool) {
 	sig, ok := callee.Type().(*types.Signature)
 	if !ok {
 		return
 	}
 	if recv := sig.Recv(); recv != nil {
 		if iface, ok := recv.Type().Underlying().(*types.Interface); ok {
-			b.resolveInterfaceCall(fn, site, callee, iface)
+			b.resolveInterfaceCall(fn, site, callee, iface, inGo)
 			return
 		}
 	}
 	if b.moduleLocal(callee) {
-		b.g.edges[fn] = append(b.g.edges[fn], Edge{Site: site, Callee: callee})
+		b.g.edges[fn] = append(b.g.edges[fn], Edge{Site: site, Callee: callee, Go: inGo})
 	}
 }
 
 // resolveInterfaceCall adds one edge per module concrete method that
-// can be behind an interface method call, in sorted type order.
-func (b *graphBuilder) resolveInterfaceCall(fn *types.Func, site token.Pos, method *types.Func, iface *types.Interface) {
+// can be behind an interface method call, in sorted type order. The
+// candidate list holds both T and *T; when value-receiver methods make
+// both implement the interface they resolve to the same *types.Func,
+// so impls are deduped per call site.
+func (b *graphBuilder) resolveInterfaceCall(fn *types.Func, site token.Pos, method *types.Func, iface *types.Interface, inGo bool) {
+	seen := map[*types.Func]bool{}
 	for _, ct := range b.concrete {
 		if !types.Implements(ct, iface) {
 			continue
 		}
 		obj, _, _ := types.LookupFieldOrMethod(ct, true, method.Pkg(), method.Name())
 		impl, ok := obj.(*types.Func)
-		if !ok || !b.moduleLocal(impl) {
+		if !ok || !b.moduleLocal(impl) || seen[impl] {
 			continue
 		}
-		b.g.edges[fn] = append(b.g.edges[fn], Edge{Site: site, Callee: impl})
+		seen[impl] = true
+		b.g.edges[fn] = append(b.g.edges[fn], Edge{Site: site, Callee: impl, Go: inGo})
 	}
 }
 

@@ -163,6 +163,69 @@ func TestSearchDepthAndSkip(t *testing.T) {
 	}
 }
 
+// callgraphFixture compiles the interprocedural-layer fixture under
+// the given masqueraded path.
+func callgraphFixture(t *testing.T, pkgPath string) (*Package, *CallGraph) {
+	t.Helper()
+	m := testModule(t)
+	files := []string{filepath.Join("testdata", "src", "callgraph", "callgraph.go")}
+	pkg, err := m.CheckFiles(pkgPath, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, graphFor(pkg)
+}
+
+// TestGoroutineWorkDoesNotBlockSpawner pins the go-subtree rules: a
+// function that only spawns a goroutine doing channel ops carries no
+// Block fact, a `go f()` edge is Go-marked, and SearchSync refuses to
+// traverse it while the full Search (determinism/alloc queries) still
+// does.
+func TestGoroutineWorkDoesNotBlockSpawner(t *testing.T) {
+	pkg, g := callgraphFixture(t, "voiceguard/fixtures/callgraph")
+
+	spawnDrain := findFunc(t, pkg, "", "spawnDrain")
+	if f := g.Facts(spawnDrain); f == nil || f.Block != nil {
+		t.Errorf("spawnDrain: goroutine-only channel op must not be a Block fact, got %+v", f)
+	}
+
+	spawnWorker := findFunc(t, pkg, "", "spawnWorker")
+	if f := g.Facts(spawnWorker); f == nil || f.Block != nil {
+		t.Errorf("spawnWorker: go statement on a named function must not be a Block fact, got %+v", f)
+	}
+	edges := g.Edges(spawnWorker)
+	if len(edges) != 1 || edges[0].Callee.Name() != "drainWorker" || !edges[0].Go {
+		t.Fatalf("spawnWorker: want one Go-marked edge to drainWorker, got %+v", edges)
+	}
+
+	block := func(f *FuncFacts) *Fact { return f.Block }
+	if p := g.SearchSync(spawnWorker, 3, nil, block); p != nil {
+		t.Errorf("SearchSync traversed a go-marked edge: chain %v", p.Chain)
+	}
+	if p := g.Search(spawnWorker, 3, nil, block); p == nil {
+		t.Error("full Search should still see drainWorker's Block fact through the go edge")
+	}
+}
+
+// TestInterfaceResolutionDedup pins the T/*T collapse: Val implements
+// Doer with a value receiver, so both Val and *Val are candidates,
+// but Dispatch's interface call must resolve to exactly one Val.Do
+// edge.
+func TestInterfaceResolutionDedup(t *testing.T) {
+	pkg, g := callgraphFixture(t, "voiceguard/fixtures/callgraph2")
+
+	dispatch := findFunc(t, pkg, "", "Dispatch")
+	count := 0
+	for _, e := range g.Edges(dispatch) {
+		if e.Callee.Name() == "Do" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("Dispatch: want exactly one resolved Do edge, got %d (edges %+v)", count, g.Edges(dispatch))
+	}
+}
+
 // TestFixtureOverlayDoesNotLeak pins the overlay design: compiling a
 // fixture extends the module graph without mutating it — the module
 // graph has no facts for fixture-only functions.

@@ -84,14 +84,24 @@ func scanLockedStmts(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
 		case *ast.BlockStmt:
 			scanLockedStmts(pass, s.List, copyHeld(held))
 		case *ast.IfStmt:
+			// The init statement runs unconditionally before the
+			// condition, so its lock effects (and blocking ops, as in
+			// `if v := <-ch; ok`) belong to the fall-through path.
+			scanInit(pass, s.Init, held)
 			checkBlocking(pass, s.Cond, held)
 			scanLockedStmts(pass, s.Body.List, copyHeld(held))
 			if s.Else != nil {
 				scanLockedStmts(pass, []ast.Stmt{s.Else}, copyHeld(held))
 			}
 		case *ast.ForStmt:
+			scanInit(pass, s.Init, held)
 			if s.Cond != nil {
 				checkBlocking(pass, s.Cond, held)
+			}
+			if s.Post != nil {
+				// Post runs per iteration; like the body, it gets a copy
+				// so its effects never leak to the fall-through path.
+				scanLockedStmts(pass, []ast.Stmt{s.Post}, copyHeld(held))
 			}
 			scanLockedStmts(pass, s.Body.List, copyHeld(held))
 		case *ast.RangeStmt:
@@ -103,14 +113,19 @@ func scanLockedStmts(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
 					}
 				}
 			}
+			checkBlocking(pass, s.X, held)
 			scanLockedStmts(pass, s.Body.List, copyHeld(held))
 		case *ast.SwitchStmt:
+			scanInit(pass, s.Init, held)
+			checkBlocking(pass, s.Tag, held)
 			for _, c := range s.Body.List {
 				if cc, ok := c.(*ast.CaseClause); ok {
 					scanLockedStmts(pass, cc.Body, copyHeld(held))
 				}
 			}
 		case *ast.TypeSwitchStmt:
+			scanInit(pass, s.Init, held)
+			checkBlocking(pass, s.Assign, held)
 			for _, c := range s.Body.List {
 				if cc, ok := c.(*ast.CaseClause); ok {
 					scanLockedStmts(pass, cc.Body, copyHeld(held))
@@ -125,6 +140,16 @@ func scanLockedStmts(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
 		default:
 			checkBlocking(pass, stmt, held)
 		}
+	}
+}
+
+// scanInit feeds an if/for/switch init statement through the normal
+// statement scanner with the caller's own held set (no copy): the init
+// executes on the path that reaches the enclosing statement, so a
+// Lock/Unlock there is held (or released) on the fall-through too.
+func scanInit(pass *Pass, init ast.Stmt, held map[string]token.Pos) {
+	if init != nil {
+		scanLockedStmts(pass, []ast.Stmt{init}, held)
 	}
 }
 
@@ -190,7 +215,10 @@ func blockingCall(pass *Pass, call *ast.CallExpr) string {
 			return ""
 		}
 	}
-	if path := pass.Graph.Search(fn, lockHeldSearchDepth, nil, func(f *FuncFacts) *Fact { return f.Block }); path != nil {
+	// SearchSync: a helper that merely spawns a goroutine doing channel
+	// ops does not block the caller, so go-marked edges are not
+	// traversed.
+	if path := pass.Graph.SearchSync(fn, lockHeldSearchDepth, nil, func(f *FuncFacts) *Fact { return f.Block }); path != nil {
 		return "a call that blocks (" + chainString(fn, path) + ")"
 	}
 	return ""

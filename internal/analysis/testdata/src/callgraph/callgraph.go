@@ -1,0 +1,37 @@
+// Package callgraph is the fixture for the interprocedural layer
+// itself rather than any one rule: goroutine-spawned work must not
+// contribute Block facts to the spawner, spawn edges are Go-marked so
+// SearchSync refuses them, and interface resolution collapses the
+// T/*T candidate pair to one edge per concrete method.
+package callgraph
+
+// Doer is implemented by Val with a value receiver, so both Val and
+// *Val satisfy it; resolution must still record Val.Do once.
+type Doer interface{ Do() int }
+
+// Val is the value-receiver implementation.
+type Val struct{ n int }
+
+// Do is in both Val's and *Val's method sets.
+func (v Val) Do() int { return v.n }
+
+// Dispatch calls through the interface.
+func Dispatch(d Doer) int { return d.Do() }
+
+// spawnDrain only spawns the draining goroutine: the channel receive
+// runs on the spawned goroutine, so spawnDrain itself never blocks
+// and must carry no Block fact.
+func spawnDrain(ch chan int) {
+	go func() { <-ch }()
+}
+
+// drainWorker blocks on its own goroutine when spawned below.
+func drainWorker(ch chan int) { <-ch }
+
+// spawnWorker hands drainWorker to a goroutine: the edge is Go-marked
+// and invisible to SearchSync, while the full Search still traverses
+// it.
+func spawnWorker(ch chan int) { go drainWorker(ch) }
+
+// use keeps the unexported fixtures referenced.
+var _ = []any{spawnDrain, spawnWorker}

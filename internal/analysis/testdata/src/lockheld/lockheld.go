@@ -116,6 +116,42 @@ func (g *Guarded) GoroutineDoesNotHoldCallerLock(ch chan int) {
 	g.mu.Unlock()
 }
 
+// IfInitReceiveUnderLock blocks inside an if init statement while the
+// lock is held: init statements run on the enclosing path.
+func (g *Guarded) IfInitReceiveUnderLock(ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v, ok := <-ch; ok { // want `mutex "g\.mu" .* is held across a channel receive`
+		return v
+	}
+	return 0
+}
+
+// ForPostReceiveUnderLock blocks in the for post statement, which
+// runs every iteration with the lock still held.
+func (g *Guarded) ForPostReceiveUnderLock(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < 3; i = <-ch { // want `is held across a channel receive`
+		g.items = append(g.items, i)
+	}
+}
+
+// spawnDrain only spawns the draining goroutine; the receive runs on
+// the spawned goroutine and never blocks the caller.
+func spawnDrain(ch chan int) {
+	go func() { <-ch }()
+}
+
+// SpawnHelperUnderLock holds the lock across a helper that merely
+// spawns a goroutine doing channel ops: the helper itself never
+// blocks, so no finding.
+func (g *Guarded) SpawnHelperUnderLock(ch chan int) {
+	g.mu.Lock()
+	spawnDrain(ch)
+	g.mu.Unlock()
+}
+
 // AllowedHold keeps a deliberate hold under a directive.
 func (g *Guarded) AllowedHold(ch chan int) {
 	g.mu.Lock()
