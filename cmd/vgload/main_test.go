@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func base() config {
+	return config{
+		plane:       "proxy",
+		tcpSessions: 16,
+		burstBytes:  1024,
+		bursts:      2,
+		dialConc:    8,
+		fault:       "none",
+		dropFrac:    0.1,
+		stallFrac:   0.2,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validate(base()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*config)
+	}{
+		{"bad plane", func(c *config) { c.plane = "warp" }},
+		{"bad fault", func(c *config) { c.fault = "gremlins" }},
+		{"no sessions", func(c *config) { c.tcpSessions = 0; c.udpSessions = 0 }},
+		{"negative drop frac", func(c *config) { c.dropFrac = -0.1 }},
+		{"fracs exceed one", func(c *config) { c.dropFrac = 0.6; c.stallFrac = 0.6 }},
+		{"zero bursts", func(c *config) { c.bursts = 0 }},
+		{"fd exhaustion", func(c *config) { c.tcpSessions = 1 << 30 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			if err := validate(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestFDBudget(t *testing.T) {
+	cfg := base()
+	cfg.tcpSessions, cfg.udpSessions = 3000, 2000
+	need, _, ok := fdBudget(cfg)
+	if !ok {
+		t.Skip("no rlimit on this platform")
+	}
+	if want := uint64(4*3000 + 2*2000 + 256); need != want {
+		t.Fatalf("fd need = %d, want %d", need, want)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// fdSoftLimit is unavailable off unix; the preflight check is skipped.
+func fdSoftLimit() (uint64, bool) { return 0, false }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// fdSoftLimit reads the process's soft open-files limit, so an
+// oversized session mix fails with a clear message instead of
+// mid-ramp EMFILE noise.
+func fdSoftLimit() (uint64, bool) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0, false
+	}
+	return uint64(rl.Cur), true
+}

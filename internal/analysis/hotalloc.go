@@ -27,6 +27,7 @@ var hotFuncs = map[string]map[string]bool{
 	},
 	"voiceguard/internal/proxy": {
 		"clientToServer": true, "serverToClient": true, "forward": true,
+		"startSession": true, "StartsBurst": true,
 	},
 	"voiceguard/internal/metrics": {
 		"with": true, "With": true, "Inc": true, "Add": true, "Set": true,

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -215,8 +216,12 @@ func (m *Module) Package(path string) (*Package, bool) {
 	return p, ok
 }
 
-// parseDir parses the non-test .go files of one directory. A
-// directory with no buildable files returns (nil, nil).
+// parseDir parses the non-test .go files of one directory. Files
+// excluded from the host build by constraints — //go:build lines or
+// GOOS/GOARCH filename suffixes — are skipped, so platform-split
+// sources (an _other.go fallback redeclaring a unix helper) do not
+// collide in the type checker. A directory with no buildable files
+// returns (nil, nil).
 func (m *Module) parseDir(dir, importPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -226,6 +231,9 @@ func (m *Module) parseDir(dir, importPath string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)

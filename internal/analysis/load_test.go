@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -36,6 +38,36 @@ func TestLoadModuleCoversRepo(t *testing.T) {
 				t.Fatalf("test file %s leaked into the module load", name)
 			}
 		}
+	}
+}
+
+// TestLoadSkipsConstrainedFiles pins the loader's build-constraint
+// handling: a platform-split pair (a //go:build unix file and its
+// !unix fallback redeclaring the same function) must not collide in
+// the type checker — only the host-buildable file is parsed.
+func TestLoadSkipsConstrainedFiles(t *testing.T) {
+	root := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(root, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module constrained\n\ngo 1.22\n")
+	write("a_unix.go", "//go:build unix\n\npackage constrained\n\nfunc limit() int { return 1 }\n")
+	write("a_other.go", "//go:build !unix\n\npackage constrained\n\nfunc limit() int { return 0 }\n")
+	write("use.go", "package constrained\n\nvar _ = limit()\n")
+
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("platform-split package failed to load: %v", err)
+	}
+	pkg, ok := m.Package("constrained")
+	if !ok {
+		t.Fatal("package not loaded")
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2 (one constraint arm plus use.go)", len(pkg.Files))
 	}
 }
 

@@ -245,6 +245,11 @@ func DialSpeaker(addr string) (*SpeakerClient, error) {
 // Close terminates the session.
 func (c *SpeakerClient) Close() error { return c.conn.Close() }
 
+// LocalAddr returns the client-side address of the session — the
+// address the proxy sees as the speaker's remote address, so load
+// harnesses can key per-speaker verdict policy off SpeakerAddr.
+func (c *SpeakerClient) LocalAddr() string { return c.conn.LocalAddr().String() }
+
 // send writes one speaker frame as an application-data record.
 func (c *SpeakerClient) send(typ byte, body []byte) error {
 	f := Frame{Seq: c.seq, Type: typ, Body: body}

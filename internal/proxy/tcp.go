@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -84,6 +85,12 @@ var (
 // than the session allows.
 var ErrQueueOverflow = errors.New("proxy: hold queue overflow")
 
+// HeldBytes returns the process-wide bytes currently sitting in TCP
+// hold queues (the value behind the proxy_hold_queue_bytes gauge), so
+// load harnesses can sample the hold-memory ceiling without going
+// through a registry snapshot.
+func HeldBytes() int64 { return mHoldQueueBytes.Value() }
+
 // DefaultMaxHoldBytes bounds the bytes buffered during one hold.
 const DefaultMaxHoldBytes = 4 << 20
 
@@ -143,6 +150,8 @@ type options struct {
 	maxHoldBytes   int
 	holdDeadline   time.Duration
 	deadlineAction DeadlineAction
+	budget         *HoldBudget
+	acceptShards   int
 }
 
 type tapOption Tap
@@ -158,6 +167,42 @@ func (m maxHoldOption) apply(o *options) { o.maxHoldBytes = int(m) }
 
 // WithMaxHoldBytes bounds per-session hold buffering.
 func WithMaxHoldBytes(n int) Option { return maxHoldOption(n) }
+
+type budgetOption struct{ b *HoldBudget }
+
+func (b budgetOption) apply(o *options) { o.budget = b.b }
+
+// WithHoldBudget charges every held byte of every session against b,
+// the gateway-wide memory ceiling. When the budget is exhausted a
+// session's read pump stalls until bytes are credited back, closing
+// the speaker's TCP window — global backpressure on top of the
+// per-session WithMaxHoldBytes cap. A nil budget means unlimited.
+func WithHoldBudget(b *HoldBudget) Option { return budgetOption{b: b} }
+
+type acceptShardsOption int
+
+func (a acceptShardsOption) apply(o *options) { o.acceptShards = int(a) }
+
+// WithAcceptShards runs n concurrent accept loops on the listener.
+// Session setup — above all the upstream dial — happens inside the
+// accept loop, so a single loop serializes every new speaker behind
+// the slowest dial; sharding lets a gateway absorb connection storms
+// at the rate the kernel hands out sockets. n <= 0 picks a default
+// based on GOMAXPROCS.
+func WithAcceptShards(n int) Option { return acceptShardsOption(n) }
+
+// defaultAcceptShards sizes the accept pool: one loop per P, capped
+// so a large machine does not spend cores spinning in Accept.
+func defaultAcceptShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // DeadlineAction selects what happens to a session's held bytes when
 // the hold deadline expires without a verdict.
@@ -218,8 +263,14 @@ func NewTCP(listenAddr string, dial DialFunc, opts ...Option) (*TCP, error) {
 		tap:      o.tap,
 		sessions: make(map[*Session]struct{}),
 	}
-	p.wg.Add(1)
-	go p.acceptLoop(o)
+	shards := o.acceptShards
+	if shards <= 0 {
+		shards = defaultAcceptShards()
+	}
+	p.wg.Add(shards)
+	for i := 0; i < shards; i++ {
+		go p.acceptLoop(o)
+	}
 	return p, nil
 }
 
@@ -256,6 +307,9 @@ func (p *TCP) Sessions() []*Session {
 	return out
 }
 
+// acceptLoop is one accept shard: several run concurrently against
+// the shared listener, so one slow upstream dial cannot stall every
+// other speaker's session setup.
 func (p *TCP) acceptLoop(o options) {
 	defer p.wg.Done()
 	for {
@@ -263,45 +317,54 @@ func (p *TCP) acceptLoop(o options) {
 		if err != nil {
 			return // listener closed
 		}
-		// The upstream dial happens at accept time, before any spike —
-		// and therefore any command ID — exists on this session.
-		//vglint:allow tracectx accept-time dial precedes any command; the session binds its command ID later via BindCommand
-		server, err := p.dial(context.Background())
-		if err != nil {
-			mUpstreamDialErr.Inc()
-			_ = client.Close()
-			continue
-		}
-		s := &Session{
-			client:         client,
-			server:         server,
-			maxHoldBytes:   o.maxHoldBytes,
-			holdDeadline:   o.holdDeadline,
-			deadlineAction: o.deadlineAction,
-			done:           make(chan struct{}),
-		}
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			s.closeConns()
-			continue
-		}
-		p.sessions[s] = struct{}{}
-		p.mu.Unlock()
-		mTCPSessions.Inc()
-		mTCPActive.Add(1)
-
-		p.wg.Add(2)
-		go func() {
-			defer p.wg.Done()
-			s.clientToServer(p.tap)
-			p.remove(s)
-		}()
-		go func() {
-			defer p.wg.Done()
-			s.serverToClient()
-		}()
+		p.startSession(client, o)
 	}
+}
+
+// startSession is the accept-shard dispatch path: dial upstream, build
+// the session, register it, and launch its two pump goroutines. It is
+// a designated hot function (vglint hotalloc): at a connection storm
+// it runs once per arriving speaker on every shard.
+func (p *TCP) startSession(client net.Conn, o options) {
+	// The upstream dial happens at accept time, before any spike —
+	// and therefore any command ID — exists on this session.
+	//vglint:allow tracectx accept-time dial precedes any command; the session binds its command ID later via BindCommand
+	server, err := p.dial(context.Background())
+	if err != nil {
+		mUpstreamDialErr.Inc()
+		_ = client.Close()
+		return
+	}
+	s := &Session{
+		client:         client,
+		server:         server,
+		maxHoldBytes:   o.maxHoldBytes,
+		holdDeadline:   o.holdDeadline,
+		deadlineAction: o.deadlineAction,
+		budget:         o.budget,
+		done:           make(chan struct{}),
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		s.closeConns()
+		return
+	}
+	p.sessions[s] = struct{}{}
+	p.mu.Unlock()
+	mTCPSessions.Inc()
+	mTCPActive.Add(1)
+
+	p.wg.Add(2)
+	go func() {
+		defer p.wg.Done()
+		s.clientToServer(p.tap)
+		p.remove(s)
+	}()
+	go func() {
+		defer p.wg.Done()
+		s.serverToClient()
+	}()
 }
 
 func (p *TCP) remove(s *Session) {
@@ -319,19 +382,40 @@ type Session struct {
 	maxHoldBytes   int
 	holdDeadline   time.Duration
 	deadlineAction DeadlineAction
+	budget         *HoldBudget
 
-	mu        sync.Mutex
-	holding   bool
-	holdStart time.Time // wall-clock moment the active hold began
-	holdTimer *time.Timer
-	cmd       trace.CommandID
-	queue     [][]byte
-	queued    int
-	heldTotal int // lifetime bytes that passed through a hold
-	dropped   int // lifetime bytes discarded by Drop
+	// lastBurst is the per-session burst separator state (see
+	// StartsBurst). It is touched only by the session's own read pump,
+	// so it needs no lock — moving it here off a proxy-global map
+	// removed both a serialization point for every chunk of every
+	// session and an unbounded leak of closed-session entries.
+	lastBurst time.Time
+
+	mu         sync.Mutex
+	holding    bool
+	holdStart  time.Time // wall-clock moment the active hold began
+	holdTimer  *time.Timer
+	cmd        trace.CommandID
+	queue      [][]byte
+	queued     int
+	budgetHeld int // bytes currently charged against the global budget
+	heldTotal  int // lifetime bytes that passed through a hold
+	dropped    int // lifetime bytes discarded by Drop
 
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+// StartsBurst reports whether a chunk observed at now opens a new
+// traffic burst: the first chunk ever, or one arriving at least gap
+// after the previous chunk. It is the burst-state lookup on the
+// per-chunk hot path (vglint hotalloc) and is intentionally
+// unsynchronized: call it only from the session's read pump (i.e.
+// from a Tap), which is the single goroutine that observes chunks.
+func (s *Session) StartsBurst(now time.Time, gap time.Duration) bool {
+	last := s.lastBurst
+	s.lastBurst = now
+	return last.IsZero() || now.Sub(last) >= gap
 }
 
 // BindCommand attaches the lifecycle trace ID of the command whose
@@ -463,9 +547,9 @@ func (s *Session) releaseLocked() error {
 }
 
 // recycleQueueLocked returns every queued chunk to the buffer pool
-// (net.Conn.Write does not retain the slices it is given) and resets
-// the hold state, keeping the queue's backing array for the session's
-// next hold. Callers hold s.mu.
+// (net.Conn.Write does not retain the slices it is given), credits
+// the global budget, and resets the hold state, keeping the queue's
+// backing array for the session's next hold. Callers hold s.mu.
 func (s *Session) recycleQueueLocked() {
 	for _, chunk := range s.queue {
 		putChunk(chunk)
@@ -476,6 +560,10 @@ func (s *Session) recycleQueueLocked() {
 	if s.holdTimer != nil {
 		s.holdTimer.Stop()
 		s.holdTimer = nil
+	}
+	if s.budget != nil && s.budgetHeld > 0 {
+		s.budget.credit(s.budgetHeld)
+		s.budgetHeld = 0
 	}
 }
 
@@ -537,24 +625,49 @@ func (s *Session) clientToServer(tap Tap) {
 // forward writes the chunk upstream, or copies it into a pooled
 // buffer on the hold queue while a hold is active. The caller keeps
 // ownership of chunk either way.
+//
+// When a global HoldBudget is configured and exhausted, forward
+// stalls the read pump (with no locks held) until budget is credited
+// back or the session dies. A stalled pump stops draining the kernel
+// socket buffer, so the speaker's TCP window closes: gateway-wide
+// backpressure instead of unbounded hold memory.
 func (s *Session) forward(chunk []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.holding {
+	for s.holding {
 		if s.queued+len(chunk) > s.maxHoldBytes {
+			s.mu.Unlock()
 			mQueueOverflows.Inc()
 			return ErrQueueOverflow
 		}
-		hp := bufPool.Get().(*[]byte)
-		held := (*hp)[:len(chunk)]
-		copy(held, chunk)
-		s.queue = append(s.queue, held)
-		s.queued += len(chunk)
-		s.heldTotal += len(chunk)
-		mHoldQueueBytes.Add(int64(len(chunk)))
-		return nil
+		if s.budget == nil || s.budget.tryReserve(len(chunk)) {
+			if s.budget != nil {
+				s.budgetHeld += len(chunk)
+			}
+			hp := bufPool.Get().(*[]byte)
+			held := (*hp)[:len(chunk)]
+			copy(held, chunk)
+			s.queue = append(s.queue, held)
+			s.queued += len(chunk)
+			s.heldTotal += len(chunk)
+			mHoldQueueBytes.Add(int64(len(chunk)))
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.budget.changed()
+		s.mu.Unlock()
+		s.budget.noteWait()
+		select {
+		case <-ch:
+			// Budget was credited somewhere; retake the lock and
+			// re-evaluate — the hold may also have resolved meanwhile,
+			// in which case the chunk flows straight upstream below.
+		case <-s.done:
+			return net.ErrClosed
+		}
+		s.mu.Lock()
 	}
 	_, err := s.server.Write(chunk)
+	s.mu.Unlock()
 	return err
 }
 

@@ -12,18 +12,24 @@ import (
 // UDP-path metric names, as package-level constants (the vglint
 // metriclabel rule).
 const (
-	metricUDPForwarded  = "proxy_udp_datagrams_forwarded_total"
-	metricUDPHeld       = "proxy_udp_datagrams_held_total"
-	metricUDPDropped    = "proxy_udp_datagrams_dropped_total"
-	metricUDPQueueDepth = "proxy_udp_hold_queue_datagrams"
+	metricUDPForwarded   = "proxy_udp_datagrams_forwarded_total"
+	metricUDPHeld        = "proxy_udp_datagrams_held_total"
+	metricUDPDropped     = "proxy_udp_datagrams_dropped_total"
+	metricUDPQueueDepth  = "proxy_udp_hold_queue_datagrams"
+	metricUDPBudgetShed  = "proxy_udp_budget_shed_total"
+	metricUDPQueueBytes  = "proxy_udp_hold_queue_bytes"
+	metricUDPActivePeers = "proxy_udp_peers_active"
 )
 
 // UDP-path metrics (the Google Home Mini's QUIC flow).
 var (
-	mUDPForwarded  = metrics.NewCounter(metricUDPForwarded)
-	mUDPHeld       = metrics.NewCounter(metricUDPHeld)
-	mUDPDropped    = metrics.NewCounter(metricUDPDropped)
-	mUDPQueueDepth = metrics.NewGauge(metricUDPQueueDepth)
+	mUDPForwarded   = metrics.NewCounter(metricUDPForwarded)
+	mUDPHeld        = metrics.NewCounter(metricUDPHeld)
+	mUDPDropped     = metrics.NewCounter(metricUDPDropped)
+	mUDPQueueDepth  = metrics.NewGauge(metricUDPQueueDepth)
+	mUDPBudgetShed  = metrics.NewCounter(metricUDPBudgetShed)
+	mUDPQueueBytes  = metrics.NewGauge(metricUDPQueueBytes)
+	mUDPActivePeers = metrics.NewGauge(metricUDPActivePeers)
 )
 
 // UDPTap observes each client-to-upstream datagram before forwarding.
@@ -40,14 +46,47 @@ type UDPForwarder struct {
 	upstream *net.UDPAddr
 	tap      UDPTap
 
-	mu      sync.Mutex
-	holding bool
-	queue   []queuedDatagram
-	peers   map[string]*udpPeer
-	closed  bool
-	dropped int
+	mu         sync.Mutex
+	holding    bool
+	queue      []queuedDatagram
+	queueBytes int
+	budget     *HoldBudget
+	budgetHeld int
+	shed       int
+	peers      map[string]*udpPeer
+	closed     bool
+	dropped    int
 
 	wg sync.WaitGroup
+}
+
+// SetHoldBudget charges held datagrams against b, typically the same
+// budget the TCP proxy uses, so one ceiling covers both transports.
+// UDP has no flow control to stall against, so when the budget is
+// exhausted new datagrams are shed (counted by BudgetShed and the
+// proxy_udp_budget_shed_total metric) instead of queued — datagram
+// loss is the protocol's native backpressure. Call before traffic
+// arrives; a nil budget means unlimited.
+func (f *UDPForwarder) SetHoldBudget(b *HoldBudget) {
+	f.mu.Lock()
+	f.budget = b
+	f.mu.Unlock()
+}
+
+// BudgetShed returns the number of datagrams shed because the global
+// hold budget was exhausted.
+func (f *UDPForwarder) BudgetShed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shed
+}
+
+// ActivePeers returns the number of client addresses with a live
+// upstream socket — the UDP notion of a concurrent session.
+func (f *UDPForwarder) ActivePeers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.peers)
 }
 
 type queuedDatagram struct {
@@ -99,9 +138,8 @@ func (f *UDPForwarder) Close() error {
 	}
 	f.closed = true
 	// Datagrams still held at shutdown never release or drop; take
-	// them back out of the depth gauge.
-	mUDPQueueDepth.Add(-int64(len(f.queue)))
-	f.queue = nil
+	// them back out of the depth gauges and the shared budget.
+	f.resetQueueLocked()
 	err := f.conn.Close()
 	for _, p := range f.peers {
 		_ = p.conn.Close()
@@ -145,16 +183,13 @@ func (f *UDPForwarder) DroppedTotal() int {
 func (f *UDPForwarder) Release() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	mUDPQueueDepth.Add(-int64(len(f.queue)))
-	for _, d := range f.queue {
+	queue := f.queue
+	f.resetQueueLocked()
+	for _, d := range queue {
 		if err := f.forwardLocked(d.clientAddr, d.data); err != nil {
-			f.queue = nil
-			f.holding = false
 			return err
 		}
 	}
-	f.queue = nil
-	f.holding = false
 	return nil
 }
 
@@ -165,11 +200,23 @@ func (f *UDPForwarder) Drop() int {
 	defer f.mu.Unlock()
 	n := len(f.queue)
 	mUDPDropped.Add(int64(n))
-	mUDPQueueDepth.Add(-int64(n))
 	f.dropped += n
-	f.queue = nil
-	f.holding = false
+	f.resetQueueLocked()
 	return n
+}
+
+// resetQueueLocked empties the hold queue, zeroes the depth gauges,
+// credits the shared budget, and ends the hold. Callers hold f.mu.
+func (f *UDPForwarder) resetQueueLocked() {
+	mUDPQueueDepth.Add(-int64(len(f.queue)))
+	mUDPQueueBytes.Add(-int64(f.queueBytes))
+	f.queue = nil
+	f.queueBytes = 0
+	f.holding = false
+	if f.budget != nil && f.budgetHeld > 0 {
+		f.budget.credit(f.budgetHeld)
+		f.budgetHeld = 0
+	}
 }
 
 // readLoop receives client datagrams on the listen socket.
@@ -191,9 +238,23 @@ func (f *UDPForwarder) readLoop() {
 			return
 		}
 		if f.holding {
+			// UDP has no window to close, so exhausting the shared
+			// budget sheds the datagram — loss is the protocol's
+			// native backpressure.
+			if f.budget != nil && !f.budget.tryReserve(len(data)) {
+				f.shed++
+				mUDPBudgetShed.Inc()
+				f.mu.Unlock()
+				continue
+			}
+			if f.budget != nil {
+				f.budgetHeld += len(data)
+			}
 			f.queue = append(f.queue, queuedDatagram{clientAddr: addr.String(), data: data})
+			f.queueBytes += len(data)
 			mUDPHeld.Inc()
 			mUDPQueueDepth.Add(1)
+			mUDPQueueBytes.Add(int64(len(data)))
 			f.mu.Unlock()
 			continue
 		}
@@ -226,6 +287,7 @@ func (f *UDPForwarder) forwardLockedAddr(clientAddr *net.UDPAddr, data []byte) e
 		}
 		peer = &udpPeer{conn: conn, clientAddr: clientAddr}
 		f.peers[clientAddr.String()] = peer
+		mUDPActivePeers.Add(1)
 		f.wg.Add(1)
 		go f.replyLoop(peer)
 	}
@@ -247,7 +309,10 @@ func (f *UDPForwarder) replyLoop(peer *udpPeer) {
 		n, err := peer.conn.Read(buf)
 		if err != nil {
 			f.mu.Lock()
-			delete(f.peers, peer.clientAddr.String())
+			if _, ok := f.peers[peer.clientAddr.String()]; ok {
+				delete(f.peers, peer.clientAddr.String())
+				mUDPActivePeers.Add(-1)
+			}
 			f.mu.Unlock()
 			_ = peer.conn.Close()
 			return

@@ -1,0 +1,88 @@
+package wireload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProxyPlaneSmoke runs a small mixed TCP+UDP proxy-plane load and
+// checks the harness's structural invariants: every held burst
+// resolves, the global budget is never exceeded, the stall flood
+// makes backpressure observable, and no session state is leaked.
+func TestProxyPlaneSmoke(t *testing.T) {
+	out, err := Run(Config{
+		TCPSessions:     24,
+		UDPSessions:     8,
+		IdleGap:         30 * time.Millisecond,
+		BurstBytes:      1024,
+		BurstEvery:      90 * time.Millisecond,
+		BaselineBursts:  2,
+		MeasureBursts:   2,
+		DecisionMean:    5 * time.Millisecond,
+		HoldDeadline:    150 * time.Millisecond,
+		BudgetBytes:     64 << 10,
+		DropFrac:        0.2,
+		StallFrac:       0.25,
+		StallWindow:     400 * time.Millisecond,
+		Seed:            7,
+		DialConcurrency: 16,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("\n%s", out.Text())
+	if out.SessionsPerSec <= 0 {
+		t.Fatalf("sessions/sec = %v, want > 0", out.SessionsPerSec)
+	}
+	if out.BurstsHeld == 0 {
+		t.Fatal("no bursts were held")
+	}
+	if resolved := out.BurstsReleased + out.BurstsDropped; resolved != out.BurstsHeld {
+		t.Fatalf("resolved %d of %d held bursts", resolved, out.BurstsHeld)
+	}
+	if !out.WithinBudget {
+		t.Fatalf("budget exceeded: peak %d > max %d", out.BudgetUsedPeak, out.BudgetMax)
+	}
+	if !out.Backpressured {
+		t.Fatalf("stall flood produced no observable backpressure (waits %d, shed %d)",
+			out.BudgetWaits, out.UDPShed)
+	}
+	if out.TrackedLeftover != 0 {
+		t.Fatalf("leftover session state after close: %d", out.TrackedLeftover)
+	}
+	if out.Reconnects == 0 {
+		t.Fatal("drop-class sessions never churned")
+	}
+}
+
+// TestGuardPlaneSmoke runs a small guard-plane load: the full
+// recognizer pipeline on every session.
+func TestGuardPlaneSmoke(t *testing.T) {
+	out, err := Run(Config{
+		Plane:           PlaneGuard,
+		TCPSessions:     12,
+		IdleGap:         60 * time.Millisecond,
+		BurstEvery:      200 * time.Millisecond,
+		BaselineBursts:  1,
+		MeasureBursts:   2,
+		DecisionMean:    5 * time.Millisecond,
+		HoldDeadline:    300 * time.Millisecond,
+		BudgetBytes:     256 << 10,
+		DropFrac:        0.2,
+		Seed:            3,
+		DialConcurrency: 8,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("\n%s", out.Text())
+	if out.BurstsHeld == 0 {
+		t.Fatal("no commands were held")
+	}
+	if out.BurstsReleased == 0 {
+		t.Fatal("no commands were released")
+	}
+	if out.TrackedLeftover != 0 {
+		t.Fatalf("leftover session state after close: %d", out.TrackedLeftover)
+	}
+}

@@ -56,6 +56,19 @@ var (
 // the cloud, false drops them (terminating the TLS session).
 type DecisionFunc func(ctx context.Context) bool
 
+// speakerAddrKey carries the held session's speaker-side remote
+// address through the DecisionFunc context.
+type speakerAddrKey struct{}
+
+// SpeakerAddr returns the remote address of the speaker whose burst
+// the DecisionFunc is adjudicating, or "" when the context does not
+// come from a live adjudication. Load harnesses and per-device policy
+// maps key verdicts off it.
+func SpeakerAddr(ctx context.Context) string {
+	addr, _ := ctx.Value(speakerAddrKey{}).(string)
+	return addr
+}
+
 // LiveOption configures the wire plane's safety valves, shared by
 // StartLiveProxy and StartLiveGuard.
 type LiveOption func(*liveOptions)
@@ -63,6 +76,9 @@ type LiveOption func(*liveOptions)
 type liveOptions struct {
 	holdDeadline time.Duration
 	degraded     guard.DegradedPolicy
+	budget       *proxy.HoldBudget
+	sessionBytes int
+	acceptShards int
 }
 
 // WithHoldDeadline arms the transport-level hold deadline: if a
@@ -77,16 +93,48 @@ func WithHoldDeadline(d time.Duration, policy guard.DegradedPolicy) LiveOption {
 	}
 }
 
+// WithHoldBudget charges every held byte — across all sessions of the
+// proxy — against b, a gateway-wide memory ceiling with transport
+// backpressure (see proxy.NewHoldBudget). A nil budget disables the
+// ceiling.
+func WithHoldBudget(b *proxy.HoldBudget) LiveOption {
+	return func(o *liveOptions) { o.budget = b }
+}
+
+// WithSessionHoldBytes bounds the bytes one session may buffer during
+// a single hold (the per-session cap under the global budget). n <= 0
+// keeps the transport default.
+func WithSessionHoldBytes(n int) LiveOption {
+	return func(o *liveOptions) { o.sessionBytes = n }
+}
+
+// WithAcceptShards runs n concurrent accept loops, so session setup
+// is not serialized behind one upstream dial at a time. n <= 0 picks
+// the transport default.
+func WithAcceptShards(n int) LiveOption {
+	return func(o *liveOptions) { o.acceptShards = n }
+}
+
 // proxyOpts renders the live options into transport-proxy options.
 func (o liveOptions) proxyOpts() []proxy.Option {
-	if o.holdDeadline <= 0 {
-		return nil
+	var popts []proxy.Option
+	if o.holdDeadline > 0 {
+		action := proxy.DeadlineRelease
+		if o.degraded == guard.DegradedFailClosed {
+			action = proxy.DeadlineDrop
+		}
+		popts = append(popts, proxy.WithHoldDeadline(o.holdDeadline, action))
 	}
-	action := proxy.DeadlineRelease
-	if o.degraded == guard.DegradedFailClosed {
-		action = proxy.DeadlineDrop
+	if o.budget != nil {
+		popts = append(popts, proxy.WithHoldBudget(o.budget))
 	}
-	return []proxy.Option{proxy.WithHoldDeadline(o.holdDeadline, action)}
+	if o.sessionBytes > 0 {
+		popts = append(popts, proxy.WithMaxHoldBytes(o.sessionBytes))
+	}
+	if o.acceptShards > 0 {
+		popts = append(popts, proxy.WithAcceptShards(o.acceptShards))
+	}
+	return popts
 }
 
 // LiveProxy runs the Traffic Handler on real sockets: a transparent
@@ -97,6 +145,7 @@ type LiveProxy struct {
 	decide DecisionFunc
 
 	mu       sync.Mutex
+	closing  bool
 	held     int
 	released int
 	dropped  int
@@ -131,30 +180,34 @@ func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 	ctx, cancel := context.WithCancel(context.Background())
 	lp := &LiveProxy{decide: decide, ctx: ctx, cancel: cancel}
 
-	lastChunk := make(map[*proxy.Session]time.Time)
-	var mu sync.Mutex
-
 	popts := append(lo.proxyOpts(),
 		proxy.WithTap(func(s *proxy.Session, data []byte) {
-			mu.Lock()
-			last, seen := lastChunk[s]
+			// Burst-separator state lives on the Session itself: no
+			// cross-session mutex on the per-chunk hot path, and the
+			// state dies with the session instead of leaking in a
+			// proxy-global map.
 			now := time.Now()
-			lastChunk[s] = now
-			newBurst := !seen || now.Sub(last) >= idleGap
-			mu.Unlock()
-			if !newBurst || s.Holding() {
+			if !s.StartsBurst(now, idleGap) || s.Holding() {
+				return
+			}
+			// The closed-check and the wg.Add share lp.mu with Close's
+			// closing flip, so Close cannot observe wg.Wait racing a
+			// concurrent Add (documented WaitGroup misuse): once closing
+			// is set, no new adjudication starts.
+			lp.mu.Lock()
+			if lp.closing {
+				lp.mu.Unlock()
 				return
 			}
 			id := trace.Default.NextID()
 			s.BindCommand(id)
 			s.Hold()
+			lp.held++
+			lp.wg.Add(1)
+			lp.mu.Unlock()
 			trace.Default.Record(trace.Event(id, trace.StageLive, "burst_hold", now,
 				trace.Int("first_chunk_bytes", len(data))))
-			lp.mu.Lock()
-			lp.held++
-			lp.mu.Unlock()
 			mLiveHeld.Inc()
-			lp.wg.Add(1)
 			go lp.adjudicate(s, id)
 		}))
 	tcp, err := proxy.NewTCP(listenAddr,
@@ -175,7 +228,8 @@ func StartLiveProxy(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 func (lp *LiveProxy) adjudicate(s *proxy.Session, id trace.CommandID) {
 	defer lp.wg.Done()
 	start := time.Now()
-	legit := lp.decide(trace.WithCommand(lp.ctx, id))
+	ctx := context.WithValue(trace.WithCommand(lp.ctx, id), speakerAddrKey{}, s.ClientAddr())
+	legit := lp.decide(ctx)
 	end := time.Now()
 	mLiveHoldSeconds.ObserveExemplar(end.Sub(start), uint64(id))
 	outcome := trace.OutcomeDrop
@@ -210,6 +264,12 @@ func (lp *LiveProxy) adjudicate(s *proxy.Session, id trace.CommandID) {
 // Addr returns the proxy's listen address.
 func (lp *LiveProxy) Addr() string { return lp.tcp.Addr() }
 
+// ActiveSessions returns the number of live transport sessions — the
+// leak observable: after every speaker disconnects it must return to
+// zero, since all per-session state (burst separator included) now
+// lives on the Session.
+func (lp *LiveProxy) ActiveSessions() int { return len(lp.tcp.Sessions()) }
+
 // Stats returns the proxy's burst counters.
 func (lp *LiveProxy) Stats() LiveStats {
 	lp.mu.Lock()
@@ -218,8 +278,12 @@ func (lp *LiveProxy) Stats() LiveStats {
 }
 
 // Close stops the proxy, cancels in-flight decisions, and waits for
-// all goroutines.
+// all goroutines. Setting closing under lp.mu first guarantees no tap
+// can wg.Add concurrently with the wg.Wait below.
 func (lp *LiveProxy) Close() error {
+	lp.mu.Lock()
+	lp.closing = true
+	lp.mu.Unlock()
 	lp.cancel()
 	err := lp.tcp.Close()
 	lp.wg.Wait()

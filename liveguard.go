@@ -39,6 +39,7 @@ type LiveGuard struct {
 	idle   time.Duration
 
 	mu       sync.Mutex
+	closing  bool
 	sessions map[*proxy.Session]*liveSession
 	stats    LiveGuardStats
 
@@ -94,11 +95,21 @@ func StartLiveGuard(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 	popts := append(lo.proxyOpts(),
 		proxy.WithTap(func(s *proxy.Session, data []byte) {
 			g.mu.Lock()
+			if g.closing {
+				g.mu.Unlock()
+				return
+			}
 			ls, ok := g.sessions[s]
 			if !ok {
 				nextPort++
 				ls = g.newSession(nextPort)
 				g.sessions[s] = ls
+				// Per-session recognizer state must die with the session:
+				// a long-lived gateway churns through thousands of
+				// connections, and entries that outlive their session are
+				// an unbounded leak. The watcher reaps on Done.
+				g.wg.Add(1)
+				go g.watchSession(s)
 			}
 			g.feedLocked(s, ls, data)
 			g.mu.Unlock()
@@ -115,6 +126,29 @@ func StartLiveGuard(listenAddr, upstreamAddr string, decide DecisionFunc, idleGa
 	}
 	g.tcp = tcp
 	return g, nil
+}
+
+// watchSession reaps one session's recognizer state when the
+// transport session terminates, disarming any pending idle timer so
+// it cannot fire against a dead connection.
+func (g *LiveGuard) watchSession(s *proxy.Session) {
+	defer g.wg.Done()
+	<-s.Done()
+	g.mu.Lock()
+	if ls, ok := g.sessions[s]; ok {
+		g.disarmIdleTimer(ls)
+		delete(g.sessions, s)
+	}
+	g.mu.Unlock()
+}
+
+// TrackedSessions returns the number of connections the guard holds
+// per-session recognizer state for — the leak observable: it must
+// return to zero once every speaker has disconnected.
+func (g *LiveGuard) TrackedSessions() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.sessions)
 }
 
 // newSession builds the per-connection recognizer, pinned to the
@@ -225,7 +259,8 @@ func (g *LiveGuard) disarmIdleTimer(ls *liveSession) {
 func (g *LiveGuard) adjudicate(s *proxy.Session, id trace.CommandID) {
 	defer g.wg.Done()
 	start := time.Now()
-	legit := g.decide(trace.WithCommand(g.ctx, id))
+	ctx := context.WithValue(trace.WithCommand(g.ctx, id), speakerAddrKey{}, s.ClientAddr())
+	legit := g.decide(ctx)
 	end := time.Now()
 	mLiveHoldSeconds.ObserveExemplar(end.Sub(start), uint64(id))
 	outcome := trace.OutcomeDrop
@@ -268,14 +303,20 @@ func (g *LiveGuard) Stats() LiveGuardStats {
 	return g.stats
 }
 
-// Close stops the guard and waits for in-flight decisions.
+// Close stops the guard and waits for in-flight decisions. Setting
+// closing under g.mu first means no tap can start a new session or
+// adjudication (wg.Add) concurrently with the wg.Wait below.
 func (g *LiveGuard) Close() error {
+	g.mu.Lock()
+	g.closing = true
+	g.mu.Unlock()
 	g.cancel()
 	err := g.tcp.Close()
 	g.wg.Wait()
 	g.mu.Lock()
-	for _, ls := range g.sessions {
+	for s, ls := range g.sessions {
 		g.disarmIdleTimer(ls)
+		delete(g.sessions, s)
 	}
 	g.mu.Unlock()
 	return err
